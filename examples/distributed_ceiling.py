@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Global vs local ceiling managers on a 3-site network (Section 4).
+
+Sweeps the communication delay at a 50/50 transaction mix and prints
+throughput, deadline misses and the two ratios the paper plots in
+Figures 4 and 5.
+
+    python examples/distributed_ceiling.py [--replications N]
+"""
+
+import argparse
+import dataclasses
+
+from repro import (DistributedConfig, TimingConfig, WorkloadConfig,
+                   replicate)
+from repro.core.metrics import missed_ratio, throughput_ratio
+from repro.core.reporting import format_table
+from repro.txn import CostModel
+
+DELAYS = (0.0, 2.0, 5.0, 10.0)
+
+
+def config_for(mode: str, delay: float) -> DistributedConfig:
+    return DistributedConfig(
+        mode=mode, comm_delay=delay, db_size=300,
+        workload=WorkloadConfig(n_transactions=120,
+                                mean_interarrival=3.0,
+                                transaction_size=6, size_jitter=2,
+                                read_only_fraction=0.5),
+        timing=TimingConfig(slack_factor=10.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=0.0))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replications", type=int, default=3)
+    args = parser.parse_args()
+
+    rows = []
+    for delay in DELAYS:
+        local = replicate(config_for("local", delay),
+                          replications=args.replications)
+        global_ = replicate(config_for("global", delay),
+                            replications=args.replications)
+        rows.append([
+            delay,
+            local["throughput"], global_["throughput"],
+            throughput_ratio(local["throughput"],
+                             global_["throughput"]),
+            local["percent_missed"], global_["percent_missed"],
+            missed_ratio(global_["percent_missed"],
+                         local["percent_missed"]),
+        ])
+
+    print(format_table(
+        ["delay", "local thr", "global thr", "thr ratio",
+         "local %missed", "global %missed", "missed ratio"],
+        rows,
+        title="Global vs local ceiling, 3 fully-connected sites, "
+              "memory-resident DB, 50/50 mix"))
+    print()
+    print("The local approach commits more and misses fewer deadlines")
+    print("at every delay; the gap widens with the delay because every")
+    print("lock acquisition in the global approach crosses the network")
+    print("while the local approach only ships post-commit updates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Temporally consistent snapshot reads over replicated data (§4).
+
+The local-ceiling architecture trades freshness for responsiveness:
+secondary copies are historical.  Section 4 sketches the remedy —
+multiversion data objects with timestamps, so "transactions can read
+the proper versions of distributed data objects, and ensure that
+decisions are based on temporally consistent data".
+
+This example runs an all-update workload with ``temporal_versions``
+enabled, then demonstrates the difference between (a) reading each
+site's latest copies (mutually inconsistent ages) and (b) reading a
+multiversion snapshot "as of" a common timestamp (consistent by
+construction).
+
+    python examples/temporal_consistency.py
+"""
+
+from repro import DistributedConfig, TimingConfig, WorkloadConfig
+from repro.dist import DistributedSystem
+from repro.txn import CostModel
+
+
+def main() -> None:
+    config = DistributedConfig(
+        mode="local", comm_delay=6.0, db_size=60,
+        workload=WorkloadConfig(n_transactions=120,
+                                mean_interarrival=2.0,
+                                transaction_size=4, size_jitter=1,
+                                read_only_fraction=0.0),
+        timing=TimingConfig(slack_factor=12.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=0.0),
+        seed=13, temporal_versions=True)
+
+    system = DistributedSystem(config)
+
+    # Freeze the run midway to inspect the in-flight state.
+    midpoint = (config.workload.n_transactions
+                * config.workload.mean_interarrival / 2)
+    system.run(until=midpoint)
+
+    print(f"State at virtual time {midpoint:.0f} "
+          f"(comm delay = {config.comm_delay}):")
+    print()
+
+    # (a) Latest-copy reads: per-object ages differ across sites.
+    # Prefer objects whose copies currently disagree (updates in
+    # flight); fall back to any written object.
+    divergent = [
+        oid for oid in range(config.db_size)
+        if len({site.database.object(oid).version_ts
+                for site in system.sites}) > 1]
+    written = [oid for oid in range(config.db_size)
+               if system.sites[0].database.object(oid).version_ts > 0]
+    sample = (divergent + [oid for oid in written
+                           if oid not in divergent])[:5]
+    print("  latest-copy ages per site (time units behind 'now'):")
+    for oid in sample:
+        ages = []
+        for site in system.sites:
+            version_ts = site.database.object(oid).version_ts
+            ages.append(f"{midpoint - version_ts:6.1f}")
+        print(f"    object {oid:3d}: " + "  ".join(ages))
+    worst = system.max_staleness()
+    print(f"  worst copy staleness: {worst:.1f} time units")
+    print()
+
+    # (b) Snapshot reads: pick a snapshot time far enough in the past
+    # that every site's version store has caught up, then read every
+    # object "as of" it - a temporally consistent cross-site view.
+    snapshot_time = midpoint - 2 * config.comm_delay - 5.0
+    print(f"  snapshot read as of t={snapshot_time:.0f}:")
+    disagreements = 0
+    for oid in range(config.db_size):
+        versions = {store.read_as_of(oid, snapshot_time)
+                    for store in system.versions}
+        if len(versions) > 1:
+            disagreements += 1
+    print(f"    objects with cross-site disagreement: "
+          f"{disagreements} / {config.db_size}")
+    print()
+    print("Latest-copy reads disagree across sites by up to the")
+    print("propagation lag; snapshot reads at a sufficiently old")
+    print("timestamp agree everywhere - the time lag is controlled by")
+    print("the version timestamps, exactly the mechanism §4 proposes.")
+
+    system.run()  # drain cleanly
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Durable workload traces: generate once, replay anywhere.
+
+Generates a workload, saves it as a JSON trace, reloads it, and replays
+the *identical* transaction stream against every protocol — the
+common-random-numbers methodology behind the paper's protocol
+comparisons, made portable across runs and versions.
+
+    python examples/trace_replay.py [--trace FILE]
+"""
+
+import argparse
+import os
+import tempfile
+
+from repro import SingleSiteConfig, SingleSiteSystem, WorkloadConfig
+from repro.core import TimingConfig
+from repro.core.reporting import format_table
+from repro.kernel.rng import RngStreams
+from repro.txn import (CostModel, WorkloadGenerator, dump_schedule,
+                       load_schedule)
+
+PROTOCOLS = ("L", "P", "PI", "C")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None,
+                        help="trace file path (default: a temp file)")
+    args = parser.parse_args()
+
+    trace_path = args.trace or os.path.join(tempfile.gettempdir(),
+                                            "repro-trace.json")
+
+    # 1. Generate a workload and persist it.
+    generator = WorkloadGenerator(
+        RngStreams(2024), db_size=200, mean_interarrival=25.0,
+        transaction_size=14, size_jitter=4, n_transactions=120)
+    schedule = generator.generate()
+    dump_schedule(schedule, trace_path)
+    print(f"saved {len(schedule)} transactions to {trace_path}")
+
+    # 2. Reload it and replay under every protocol.
+    replayed = load_schedule(trace_path)
+    assert replayed == schedule, "round trip must be exact"
+
+    config_base = SingleSiteConfig(
+        db_size=200,
+        workload=WorkloadConfig(n_transactions=len(replayed),
+                                mean_interarrival=25.0,
+                                transaction_size=14),
+        timing=TimingConfig(slack_factor=8.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=2.0),
+        seed=7)
+
+    rows = []
+    import dataclasses
+    for protocol in PROTOCOLS:
+        config = dataclasses.replace(config_base, protocol=protocol)
+        system = SingleSiteSystem(config, schedule=replayed)
+        monitor = system.run()
+        rows.append([protocol, monitor.throughput(),
+                     monitor.percent_missed,
+                     system.cc.stats.deadlocks])
+
+    print()
+    print(format_table(
+        ["protocol", "objects/sec", "% missed", "deadlocks"], rows,
+        title=f"Identical {len(replayed)}-transaction trace replayed "
+              f"under each protocol"))
+    print()
+    print("Because every protocol saw byte-identical arrivals, the")
+    print("differences are attributable purely to the locking protocol.")
+
+
+if __name__ == "__main__":
+    main()

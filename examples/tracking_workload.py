@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Distributed tracking: the paper's motivating application.
+
+"Each radar station maintains its view and makes it available to other
+sites in the network."  Three sites each own a block of track objects
+(their radar picture).  Periodic update transactions refresh the local
+tracks every scan; aperiodic read-only queries (threat evaluation,
+display) arrive at random sites and read any tracks from the local
+replicated view.
+
+Runs under the local-ceiling architecture (single-writer/multiple-
+reader, asynchronous replica propagation) and reports per-class
+deadline behaviour plus how stale the cross-site track views get.
+
+    python examples/tracking_workload.py
+"""
+
+from repro import DistributedConfig, TimingConfig, WorkloadConfig
+from repro.db.locks import LockMode
+from repro.dist import DistributedSystem
+from repro.kernel.rng import RngStreams
+from repro.txn import (CostModel, PeriodicStream, WorkloadGenerator,
+                       merge_schedules)
+
+N_SITES = 3
+TRACKS_PER_SITE = 20
+SCAN_PERIOD = 30.0       # radar scan interval (time units)
+TRACKS_PER_SCAN = 6      # tracks refreshed per scan transaction
+HORIZON = 600.0          # simulated mission time
+QUERY_INTERARRIVAL = 4.0
+QUERY_SIZE = 5
+
+
+def build_schedule(system: DistributedSystem):
+    """Periodic scan updates per site + aperiodic read-only queries."""
+    scans = []
+    for site in range(N_SITES):
+        tracks = system.catalog.primaries_at(site)[:TRACKS_PER_SCAN]
+        operations = [(oid, LockMode.WRITE) for oid in tracks]
+        stream = PeriodicStream(operations, period=SCAN_PERIOD,
+                                site=site,
+                                first_release=site * 2.0)  # phase shift
+        scans.append(stream.releases(HORIZON))
+
+    queries = WorkloadGenerator(
+        RngStreams(7), db_size=N_SITES * TRACKS_PER_SITE,
+        mean_interarrival=QUERY_INTERARRIVAL,
+        transaction_size=QUERY_SIZE,
+        n_transactions=int(HORIZON / QUERY_INTERARRIVAL),
+        read_only_fraction=1.0, n_sites=N_SITES,
+        catalog=system.catalog).generate()
+
+    return merge_schedules(*scans, queries)
+
+
+def main() -> None:
+    config = DistributedConfig(
+        mode="local", comm_delay=2.0,
+        db_size=N_SITES * TRACKS_PER_SITE,
+        workload=WorkloadConfig(n_transactions=1),  # replaced below
+        timing=TimingConfig(slack_factor=6.0),
+        costs=CostModel(cpu_per_object=0.5, io_per_object=0.0,
+                        apply_cpu=0.25),
+        seed=7, temporal_versions=True)
+
+    # Build once to get the catalog, then rebuild with the real schedule.
+    prototype = DistributedSystem(config, schedule=[])
+    schedule = build_schedule(prototype)
+    system = DistributedSystem(config, schedule=schedule)
+    monitor = system.run(until=HORIZON * 2)
+
+    periodic = [r for r in monitor.records if not r.read_only]
+    queries = [r for r in monitor.records if r.read_only]
+
+    print("Distributed tracking under the local ceiling architecture")
+    print(f"  sites: {N_SITES}, tracks: {config.db_size}, "
+          f"scan period: {SCAN_PERIOD}, comm delay: "
+          f"{config.comm_delay}")
+    print()
+    print(f"  scan updates released : {len(periodic)}")
+    missed_scans = sum(1 for r in periodic if r.missed)
+    print(f"  scans missing deadline: {missed_scans} "
+          f"({100.0 * missed_scans / max(1, len(periodic)):.1f}%)")
+    print(f"  queries processed     : {len(queries)}")
+    missed_queries = sum(1 for r in queries if r.missed)
+    print(f"  queries missing       : {missed_queries} "
+          f"({100.0 * missed_queries / max(1, len(queries)):.1f}%)")
+    blocked = [r.blocked_time for r in queries if r.committed]
+    if blocked:
+        print(f"  mean query block time : "
+              f"{sum(blocked) / len(blocked):.2f} time units")
+    print()
+    # Temporal consistency of the cross-site views: a remote track can
+    # be at most one scan + one network hop old in steady state.
+    stale = system.max_staleness()
+    print(f"  view staleness at end : {stale:.2f} time units")
+    print(f"  replica messages sent : {system.network.messages_sent}")
+    print()
+    print("Every track write stays on its owning radar site (R2); the")
+    print("other sites read their historical copies (R3), so no lock")
+    print("ever crosses the network and queries never block on remote")
+    print("scans - at the price of bounded view staleness.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Benchmark harness: figure and ablation sweeps.
+
+``benchmarks/`` contains thin pytest-benchmark wrappers; the sweep
+logic lives here so examples and notebooks can reuse it.
+"""
+
+from .ablations import (format_dbsize, format_deadlock_policies,
+                        format_inheritance, format_rw_vs_exclusive,
+                        format_io_models, format_snapshot_reads, format_temporal,
+                        run_dbsize_sweep, run_deadlock_policies, run_io_models,
+                        run_inheritance_vs_ceiling, run_rw_vs_exclusive,
+                        run_snapshot_reads, run_temporal_staleness)
+from .figures import (FIG4_DELAYS, FIG5_DELAYS, FIG6_DELAYS,
+                      FIG23_SIZES, FIG46_MIXES, distributed_config,
+                      format_fig2, format_fig3, format_fig4,
+                      format_fig5, format_fig6, run_fig2_fig3,
+                      run_fig4, run_fig5, run_fig6,
+                      single_site_config)
+
+__all__ = [
+    "FIG23_SIZES",
+    "FIG46_MIXES",
+    "FIG4_DELAYS",
+    "FIG5_DELAYS",
+    "FIG6_DELAYS",
+    "distributed_config",
+    "format_dbsize",
+    "format_deadlock_policies",
+    "format_fig2",
+    "format_fig3",
+    "format_fig4",
+    "format_fig5",
+    "format_fig6",
+    "format_inheritance",
+    "format_io_models",
+    "format_rw_vs_exclusive",
+    "format_snapshot_reads",
+    "format_temporal",
+    "run_dbsize_sweep",
+    "run_deadlock_policies",
+    "run_fig2_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_inheritance_vs_ceiling",
+    "run_io_models",
+    "run_rw_vs_exclusive",
+    "run_snapshot_reads",
+    "run_temporal_staleness",
+    "single_site_config",
+]

@@ -1,0 +1,234 @@
+"""Figure-regeneration functions: one per figure in the paper.
+
+Each function runs the sweep behind one figure of Son & Chang (ICDCS
+1990) and returns the plotted series as a list of row dicts; the
+``format_*`` helpers render them as the text tables the benchmark
+harness prints and EXPERIMENTS.md records.
+
+Calibration
+-----------
+The paper gives no parameter table, so the workloads are calibrated to
+its stated regime (single CPU per site, parallel I/O, heavy load at the
+large-size end, memory-resident 3-site network for the distributed
+study).  The shapes — who wins, by roughly what factor, where the
+crossovers fall — are the reproduction target, not absolute numbers;
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..core.config import (DistributedConfig, SingleSiteConfig,
+                           TimingConfig, WorkloadConfig)
+from ..core.experiment import replicate
+from ..core.metrics import missed_ratio, throughput_ratio
+from ..core.reporting import format_table
+from ..txn.manager import CostModel
+
+#: Transaction sizes swept in Figures 2 and 3 (up to 10% of the DB).
+FIG23_SIZES = (2, 5, 8, 11, 14, 17, 20)
+#: Communication delays swept in Figure 5 (time units).
+FIG5_DELAYS = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+#: Transaction mixes (fraction read-only) swept in Figures 4 and 6.
+FIG46_MIXES = (0.0, 0.25, 0.5, 0.75)
+#: Delays at which Figure 4 plots its mix curves / Figure 6 its two
+#: specific curves.
+FIG4_DELAYS = (0.0, 2.0, 8.0)
+FIG6_DELAYS = (2.0, 8.0)
+
+
+def single_site_config(protocol: str, size: int,
+                       n_transactions: int = 200) -> SingleSiteConfig:
+    """The calibrated Figure-2/3 configuration at one sweep point."""
+    return SingleSiteConfig(
+        protocol=protocol, db_size=200,
+        workload=WorkloadConfig(n_transactions=n_transactions,
+                                mean_interarrival=25.0,
+                                transaction_size=size,
+                                size_jitter=max(1, size // 3)),
+        timing=TimingConfig(slack_factor=8.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=2.0))
+
+
+def distributed_config(mode: str, comm_delay: float,
+                       read_only_fraction: float,
+                       n_transactions: int = 150) -> DistributedConfig:
+    """The calibrated Figure-4/5/6 configuration at one sweep point."""
+    return DistributedConfig(
+        mode=mode, comm_delay=comm_delay, db_size=300,
+        workload=WorkloadConfig(n_transactions=n_transactions,
+                                mean_interarrival=2.5,
+                                transaction_size=6, size_jitter=2,
+                                read_only_fraction=read_only_fraction),
+        timing=TimingConfig(slack_factor=8.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=0.0))
+
+
+# ----------------------------------------------------------------------
+# Figures 2 and 3: single-site size sweeps
+# ----------------------------------------------------------------------
+def run_fig2_fig3(protocols: Sequence[str] = ("C", "P", "L"),
+                  sizes: Sequence[int] = FIG23_SIZES,
+                  replications: int = 5,
+                  n_transactions: int = 200) -> List[Dict]:
+    """One row per size: throughput and %missed per protocol."""
+    series = []
+    for size in sizes:
+        row: Dict = {"size": size}
+        for protocol in protocols:
+            aggregated = replicate(
+                single_site_config(protocol, size, n_transactions),
+                replications=replications)
+            row[f"throughput_{protocol}"] = aggregated["throughput"]
+            row[f"missed_{protocol}"] = aggregated["percent_missed"]
+            row[f"deadlocks_{protocol}"] = aggregated["cc_deadlocks"]
+        series.append(row)
+    return series
+
+
+def format_fig2(series: List[Dict],
+                protocols: Sequence[str] = ("C", "P", "L")) -> str:
+    headers = ["size"] + [f"{p} (objects/sec)" for p in protocols]
+    rows = [[row["size"]] + [row[f"throughput_{p}"] for p in protocols]
+            for row in series]
+    return format_table(headers, rows,
+                        title="Figure 2 - Transaction Throughput "
+                              "(normalised, committed objects/sec)")
+
+
+def format_fig3(series: List[Dict],
+                protocols: Sequence[str] = ("C", "P", "L")) -> str:
+    headers = (["size"] + [f"{p} (%missed)" for p in protocols]
+               + [f"{p} (deadlocks)" for p in protocols])
+    rows = [[row["size"]]
+            + [row[f"missed_{p}"] for p in protocols]
+            + [row[f"deadlocks_{p}"] for p in protocols]
+            for row in series]
+    return format_table(headers, rows,
+                        title="Figure 3 - Percentage of Deadline-"
+                              "Missing Transactions")
+
+
+# ----------------------------------------------------------------------
+# Figure 4: throughput ratio (local/global) vs transaction mix
+# ----------------------------------------------------------------------
+def run_fig4(mixes: Sequence[float] = FIG46_MIXES,
+             delays: Sequence[float] = FIG4_DELAYS,
+             replications: int = 5,
+             n_transactions: int = 150) -> List[Dict]:
+    series = []
+    for mix in mixes:
+        row: Dict = {"mix": mix}
+        for delay in delays:
+            local = replicate(
+                distributed_config("local", delay, mix, n_transactions),
+                replications=replications)
+            global_ = replicate(
+                distributed_config("global", delay, mix,
+                                   n_transactions),
+                replications=replications)
+            row[f"ratio_d{delay:g}"] = throughput_ratio(
+                local["throughput"], global_["throughput"])
+            row[f"local_d{delay:g}"] = local["throughput"]
+            row[f"global_d{delay:g}"] = global_["throughput"]
+        series.append(row)
+    return series
+
+
+def format_fig4(series: List[Dict],
+                delays: Sequence[float] = FIG4_DELAYS) -> str:
+    headers = ["read-only fraction"] + [f"ratio @ delay {d:g}"
+                                        for d in delays]
+    rows = [[row["mix"]] + [row[f"ratio_d{d:g}"] for d in delays]
+            for row in series]
+    return format_table(headers, rows,
+                        title="Figure 4 - Transaction Throughput Ratio "
+                              "(local ceiling / global ceiling)")
+
+
+# ----------------------------------------------------------------------
+# Figure 5: deadline-missing ratio (global/local) vs delay
+# ----------------------------------------------------------------------
+def run_fig5(delays: Sequence[float] = FIG5_DELAYS,
+             mix: float = 0.5, replications: int = 5,
+             n_transactions: int = 150) -> List[Dict]:
+    series = []
+    for delay in delays:
+        local = replicate(
+            _fig5_config("local", delay, mix, n_transactions),
+            replications=replications)
+        global_ = replicate(
+            _fig5_config("global", delay, mix, n_transactions),
+            replications=replications)
+        series.append({
+            "delay": delay,
+            "local_missed": local["percent_missed"],
+            "global_missed": global_["percent_missed"],
+            "ratio": missed_ratio(global_["percent_missed"],
+                                  local["percent_missed"]),
+        })
+    return series
+
+
+def _fig5_config(mode: str, delay: float, mix: float,
+                 n_transactions: int) -> DistributedConfig:
+    # Figure 5 runs slightly below the Figure-4 load so the local
+    # approach's miss floor is low enough for the paper's ">16x" ratio
+    # to be observable rather than clipped by the denominator.
+    base = distributed_config(mode, delay, mix, n_transactions)
+    return dataclasses.replace(
+        base,
+        workload=dataclasses.replace(base.workload,
+                                     mean_interarrival=3.0),
+        timing=TimingConfig(slack_factor=10.0))
+
+
+def format_fig5(series: List[Dict]) -> str:
+    headers = ["comm delay", "global %missed", "local %missed",
+               "ratio (global/local)"]
+    rows = [[row["delay"], row["global_missed"], row["local_missed"],
+             row["ratio"]] for row in series]
+    return format_table(headers, rows,
+                        title="Figure 5 - Deadline Missing Ratio "
+                              "(50% read-only / 50% update)")
+
+
+# ----------------------------------------------------------------------
+# Figure 6: %missed vs mix at two specific delays
+# ----------------------------------------------------------------------
+def run_fig6(mixes: Sequence[float] = FIG46_MIXES,
+             delays: Sequence[float] = FIG6_DELAYS,
+             replications: int = 5,
+             n_transactions: int = 150) -> List[Dict]:
+    series = []
+    for mix in mixes:
+        row: Dict = {"mix": mix}
+        for delay in delays:
+            for mode in ("local", "global"):
+                aggregated = replicate(
+                    distributed_config(mode, delay, mix,
+                                       n_transactions),
+                    replications=replications)
+                row[f"{mode}_d{delay:g}"] = aggregated["percent_missed"]
+        series.append(row)
+    return series
+
+
+def format_fig6(series: List[Dict],
+                delays: Sequence[float] = FIG6_DELAYS) -> str:
+    headers = ["read-only fraction"]
+    for delay in delays:
+        headers += [f"local %missed @ d={delay:g}",
+                    f"global %missed @ d={delay:g}"]
+    rows = []
+    for row in series:
+        cells = [row["mix"]]
+        for delay in delays:
+            cells += [row[f"local_d{delay:g}"],
+                      row[f"global_d{delay:g}"]]
+        rows.append(cells)
+    return format_table(headers, rows,
+                        title="Figure 6 - Deadline Missing Transaction "
+                              "Percentage vs Transaction Mix")

@@ -1,0 +1,54 @@
+"""Concurrency-control protocols: L, P, PI, C (and C-exclusive).
+
+``make_protocol`` is the factory the configuration layer uses, keyed by
+the paper's protocol letters.
+"""
+
+from .base import CCStats, ConcurrencyControl, Request
+from .deadlock import (VICTIM_POLICIES, WaitsForGraph, build_waits_for,
+                       choose_victim)
+from .priority_ceiling import PriorityCeiling
+from .priority_inheritance import PriorityInheritance
+from .twopl import TwoPhaseLocking, TwoPhaseLockingPriority
+
+PROTOCOLS = ("L", "P", "PI", "C", "Cx")
+
+
+def make_protocol(name: str, kernel) -> ConcurrencyControl:
+    """Instantiate a protocol by its paper letter.
+
+    - ``"L"``  — two-phase locking without priority (FCFS everywhere);
+    - ``"P"``  — two-phase locking with priority mode;
+    - ``"PI"`` — 2PL with basic priority inheritance;
+    - ``"C"``  — priority ceiling protocol (read/write semantics);
+    - ``"Cx"`` — priority ceiling with exclusive-only locks (§5 ablation).
+    """
+    if name == "L":
+        return TwoPhaseLocking(kernel)
+    if name == "P":
+        return TwoPhaseLockingPriority(kernel)
+    if name == "PI":
+        return PriorityInheritance(kernel)
+    if name == "C":
+        return PriorityCeiling(kernel)
+    if name == "Cx":
+        return PriorityCeiling(kernel, exclusive_only=True)
+    raise ValueError(f"unknown protocol {name!r}; expected one of "
+                     f"{PROTOCOLS}")
+
+
+__all__ = [
+    "CCStats",
+    "ConcurrencyControl",
+    "PROTOCOLS",
+    "PriorityCeiling",
+    "PriorityInheritance",
+    "Request",
+    "TwoPhaseLocking",
+    "TwoPhaseLockingPriority",
+    "VICTIM_POLICIES",
+    "WaitsForGraph",
+    "build_waits_for",
+    "choose_victim",
+    "make_protocol",
+]

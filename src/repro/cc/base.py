@@ -1,0 +1,310 @@
+"""Concurrency-control protocol interface.
+
+Every protocol (2PL, 2PL-priority, priority inheritance, priority
+ceiling) shares this skeleton:
+
+- :meth:`acquire` returns a syscall the transaction manager yields; it
+  grants immediately or parks the requester in the protocol's wait set;
+- :meth:`release_all` frees a committing transaction's locks and
+  re-evaluates waiters;
+- :meth:`abort` cleans up a transaction that died mid-flight (deadline
+  miss or deadlock victim) — its pending request was already withdrawn
+  by the kernel's interrupt machinery, so only held locks remain;
+- :meth:`register`/:meth:`deregister` bracket a transaction's *active*
+  interval (the ceiling protocol computes per-object ceilings from the
+  declared access sets of registered transactions).
+
+Subclasses implement ``_can_acquire`` (the admission test),
+``_grant_order`` (which waiters to reconsider, in what order) and
+``_after_change`` (inheritance bookkeeping, deadlock detection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional
+
+from ..db.locks import LockMode, LockTable
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+from ..kernel.syscalls import BLOCKED, Call, Immediate
+from ..txn.transaction import Transaction
+
+
+class CCStats:
+    """Counters every protocol maintains, for the Performance Monitor."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.immediate_grants = 0
+        self.blocks = 0          # requests that had to wait
+        self.ceiling_blocks = 0  # blocked with no direct lock conflict
+        self.direct_blocks = 0   # blocked on an incompatible holder
+        self.deadlocks = 0
+        self.inheritance_events = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self.__dict__.items())
+        return f"CCStats({parts})"
+
+
+class Request:
+    """A waiting lock request.
+
+    Two delivery styles:
+
+    - *blocking* (``on_grant is None``): the requesting process yielded
+      the acquire syscall and is parked; the grant resumes it;
+    - *async* (``on_grant`` set): created by :meth:`acquire_async` from
+      a server process (the global ceiling manager); the grant invokes
+      the callback instead — the requester is blocked elsewhere, waiting
+      for the grant *message*.
+    """
+
+    __slots__ = ("txn", "oid", "mode", "process", "seq", "since",
+                 "on_grant")
+
+    def __init__(self, txn: Transaction, oid: int, mode: LockMode,
+                 process: Process, seq: int, since: float,
+                 on_grant=None):
+        self.txn = txn
+        self.oid = oid
+        self.mode = mode
+        self.process = process
+        self.seq = seq
+        self.since = since
+        self.on_grant = on_grant
+
+    def waiter_priority(self) -> float:
+        """Effective priority of the waiter (for inheritance)."""
+        if self.process is not None and not self.process.terminated:
+            return self.process.effective_priority
+        return self.txn.priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Request(txn={self.txn.tid}, oid={self.oid}, "
+                f"mode={self.mode})")
+
+
+class _RequestBlocker:
+    """Kernel blocker protocol adapter for a waiting lock request."""
+
+    __slots__ = ("cc", "request")
+
+    def __init__(self, cc: "ConcurrencyControl", request: Request):
+        self.cc = cc
+        self.request = request
+
+    def withdraw(self, process: Process) -> None:
+        self.cc._withdraw(self.request)
+
+
+class ConcurrencyControl:
+    """Abstract base; see module docstring."""
+
+    #: Human-readable protocol tag ("L", "P", "PI", "C", ...).
+    name = "base"
+    #: CPU discipline this protocol is designed for.
+    cpu_policy = "priority"
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.locks = LockTable()
+        self.waiting: List[Request] = []
+        self.stats = CCStats()
+        self._seq = itertools.count()
+        #: Transactions currently carrying inherited priority from us.
+        self._inheriting: set = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def register(self, txn: Transaction) -> None:
+        """The transaction becomes active (started, not completed)."""
+
+    def deregister(self, txn: Transaction) -> None:
+        """The transaction left the system (committed or missed)."""
+        self._reevaluate()
+
+    # ------------------------------------------------------------------
+    # the lock API used by transaction managers
+    # ------------------------------------------------------------------
+    def acquire(self, txn: Transaction, oid: int, mode: LockMode) -> Call:
+        """Syscall: obtain ``mode`` on ``oid``, blocking per protocol."""
+
+        def attempt(kernel: Kernel, process: Process):
+            self.stats.requests += 1
+            if self._can_acquire(txn, oid, mode):
+                self.locks.grant(oid, txn, mode)
+                self.stats.immediate_grants += 1
+                return Immediate(None)
+            self.stats.blocks += 1
+            if self.locks.conflicting_holders(oid, txn, mode):
+                self.stats.direct_blocks += 1
+            else:
+                self.stats.ceiling_blocks += 1
+            request = Request(txn, oid, mode, process, next(self._seq),
+                              kernel.now)
+            self.waiting.append(request)
+            process.blocker = _RequestBlocker(self, request)
+            # _on_block may raise a TransactionAbort into the requester
+            # (deadlock victim); it must leave protocol state clean if so.
+            self._on_block(request)
+            self._after_change()
+            return BLOCKED
+
+        return Call(attempt, label=f"lock({oid},{mode})")
+
+    def acquire_async(self, txn: Transaction, oid: int, mode: LockMode,
+                      on_grant, process: Optional[Process] = None) -> bool:
+        """Server-mode acquire used by the global ceiling manager.
+
+        Returns True if the lock was granted immediately; otherwise the
+        request is queued and ``on_grant()`` fires when it is granted.
+        ``process`` (the remote transaction's manager process) feeds
+        priority-inheritance bookkeeping.  Only deadlock-free protocols
+        (the ceiling protocols) support this path — the 2PL victim
+        machinery assumes a parked requester.
+        """
+        self.stats.requests += 1
+        if self._can_acquire(txn, oid, mode):
+            self.locks.grant(oid, txn, mode)
+            self.stats.immediate_grants += 1
+            return True
+        self.stats.blocks += 1
+        if self.locks.conflicting_holders(oid, txn, mode):
+            self.stats.direct_blocks += 1
+        else:
+            self.stats.ceiling_blocks += 1
+        request = Request(txn, oid, mode,
+                          process if process is not None else txn.process,
+                          next(self._seq), self.kernel.now,
+                          on_grant=on_grant)
+        self.waiting.append(request)
+        self._on_block(request)
+        self._after_change()
+        return False
+
+    def cancel_async(self, txn: Transaction) -> int:
+        """Withdraw every queued async request of ``txn`` (abort path).
+
+        Returns the number removed."""
+        stale = [request for request in self.waiting
+                 if request.txn is txn and request.on_grant is not None]
+        for request in stale:
+            self.waiting.remove(request)
+        if stale:
+            self._reevaluate()
+        return len(stale)
+
+    def release_all(self, txn: Transaction) -> List[int]:
+        """Free every lock ``txn`` holds; wake newly grantable waiters."""
+        freed = self.locks.release_all(txn)
+        if freed or txn in self._inheriting:
+            self._reevaluate()
+        return freed
+
+    def abort(self, txn: Transaction) -> None:
+        """Clean up an aborted transaction's lock state.
+
+        Its waiting request (if any) was withdrawn by the kernel when
+        the interrupt was delivered; only held locks remain here.
+        """
+        self.release_all(txn)
+
+    # ------------------------------------------------------------------
+    # protocol extension points
+    # ------------------------------------------------------------------
+    def _can_acquire(self, txn: Transaction, oid: int,
+                     mode: LockMode) -> bool:
+        raise NotImplementedError
+
+    def _on_block(self, request: Request) -> None:
+        """Called after ``request`` was parked (inheritance, deadlock
+        detection).  Default: nothing."""
+
+    def _grant_order(self) -> Iterable[Request]:
+        """Waiters in the order they should be reconsidered."""
+        raise NotImplementedError
+
+    def _after_change(self) -> None:
+        """Called whenever lock state or the wait set changed, after all
+        grants were issued (inheritance recomputation hook)."""
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def _reevaluate(self) -> None:
+        """Grant every waiter that is now admissible, then let the
+        protocol update inheritance."""
+        progress = True
+        while progress:
+            progress = False
+            for request in list(self._grant_order()):
+                if self._can_acquire(request.txn, request.oid,
+                                     request.mode):
+                    self._grant_waiter(request)
+                    progress = True
+                    break  # state changed: recompute the order
+        self._after_change()
+
+    def _grant_waiter(self, request: Request) -> None:
+        self.locks.grant(request.oid, request.txn, request.mode)
+        self.waiting.remove(request)
+        if request.on_grant is not None:
+            request.on_grant()
+        else:
+            self.kernel.ready(request.process)
+
+    def _withdraw(self, request: Request) -> None:
+        """Interrupt cleanup: the waiter leaves the wait set."""
+        if request in self.waiting:
+            self.waiting.remove(request)
+        self._reevaluate()
+
+    # ------------------------------------------------------------------
+    # inheritance plumbing shared by PI and ceiling protocols
+    # ------------------------------------------------------------------
+    def _apply_inheritance(self, contributions: dict) -> bool:
+        """Set inherited priorities from {txn: priority}.
+
+        Transactions that previously inherited but no longer appear are
+        cleared.  ``contributions`` values are effective priorities of
+        the waiters each holder blocks.  Returns True if any effective
+        priority changed (the PI fixpoint loop uses this to propagate
+        inheritance chains).
+        """
+        changed = False
+        for txn in list(self._inheriting):
+            if txn not in contributions:
+                self._inheriting.discard(txn)
+                if txn.process is not None and not txn.process.terminated:
+                    if txn.process.inherited_priority is not None:
+                        changed = True
+                    self.kernel.set_inherited_priority(txn.process, None)
+        for txn, priority in contributions.items():
+            if txn.process is None or txn.process.terminated:
+                continue
+            if txn.process.inherited_priority != priority:
+                self.stats.inheritance_events += 1
+                changed = True
+            self.kernel.set_inherited_priority(txn.process, priority)
+            self._inheriting.add(txn)
+        return changed
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and the monitor
+    # ------------------------------------------------------------------
+    @property
+    def waiting_count(self) -> int:
+        return len(self.waiting)
+
+    def waiting_txns(self) -> List[Transaction]:
+        return [request.txn for request in self.waiting]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(waiting={self.waiting_count}, "
+                f"locks={len(self.locks)})")

@@ -1,0 +1,184 @@
+"""The priority ceiling protocol for real-time databases (protocol C).
+
+Implements §3.2 of the paper.  Three ceilings exist per data object:
+
+- **write-priority ceiling** — priority of the highest-priority active
+  transaction that may *write* the object;
+- **absolute-priority ceiling** — priority of the highest-priority
+  active transaction that may *read or write* the object;
+- **rw-priority ceiling** — set dynamically when the object is locked:
+  equal to the absolute ceiling while write-locked, and to the write
+  ceiling while read-locked.
+
+Admission rule: "When a transaction attempts to lock a data object, the
+transaction's priority is compared with the highest rw-priority ceiling
+of all data objects currently locked by other transactions.  If the
+priority of the transaction is not higher than the rw-priority ceiling,
+the access request will be denied, and the transaction will be blocked"
+— in which case the holder(s) of that highest-ceiling lock inherit the
+blocked transaction's priority.
+
+Under this rule "it is not necessary to check for the possibility of
+read-write conflicts": the ceiling test subsumes lock conflicts.  We
+keep the conflict check as a *hard assertion* — if it ever failed, the
+implementation (not the run) would be wrong.
+
+Ceiling scope note (documented deviation): Sha et al. define ceilings
+over a fixed, statically known task set.  The paper's workload is an
+open arrival stream, so — as in the real-time database adaptations of
+the protocol — ceilings here are computed over the *currently active*
+(registered) transactions' declared read/write sets.  Each transaction
+predeclares its access sets, exactly the information the paper's
+workload generator specifies ("size of their read-sets and write-sets").
+
+``exclusive_only=True`` gives the §5 ablation: read semantics are
+ignored, every lock is exclusive and both static ceilings collapse to
+the absolute ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..db.locks import LockError, LockMode
+from ..txn.transaction import Transaction
+from .base import ConcurrencyControl, Request
+
+
+class PriorityCeiling(ConcurrencyControl):
+    """Protocol C (and its exclusive-lock ablation)."""
+
+    name = "C"
+    cpu_policy = "priority"
+
+    def __init__(self, kernel, exclusive_only: bool = False):
+        super().__init__(kernel)
+        self.exclusive_only = exclusive_only
+        if exclusive_only:
+            self.name = "Cx"
+        #: Active transactions (started, not completed).
+        self.active: Set[Transaction] = set()
+        #: oid -> active transactions declaring a write on it.
+        self._writers: Dict[int, Set[Transaction]] = {}
+        #: oid -> active transactions declaring any access to it.
+        self._accessors: Dict[int, Set[Transaction]] = {}
+
+    # ------------------------------------------------------------------
+    # active set maintenance (drives the static ceilings)
+    # ------------------------------------------------------------------
+    def register(self, txn: Transaction) -> None:
+        self.active.add(txn)
+        write_set = (txn.access_set if self.exclusive_only
+                     else txn.write_set)
+        for oid in write_set:
+            self._writers.setdefault(oid, set()).add(txn)
+        for oid in txn.access_set:
+            self._accessors.setdefault(oid, set()).add(txn)
+
+    def deregister(self, txn: Transaction) -> None:
+        self.active.discard(txn)
+        for index in (self._writers, self._accessors):
+            for oid in txn.access_set:
+                declarers = index.get(oid)
+                if declarers is not None:
+                    declarers.discard(txn)
+                    if not declarers:
+                        del index[oid]
+        super().deregister(txn)  # ceilings dropped: re-evaluate waiters
+
+    # ------------------------------------------------------------------
+    # ceilings
+    # ------------------------------------------------------------------
+    def write_ceiling(self, oid: int) -> Optional[float]:
+        """Static write-priority ceiling (None if no active writer)."""
+        declarers = self._writers.get(oid)
+        if not declarers:
+            return None
+        return max(txn.priority for txn in declarers)
+
+    def absolute_ceiling(self, oid: int) -> Optional[float]:
+        """Static absolute-priority ceiling (None if no active accessor)."""
+        declarers = self._accessors.get(oid)
+        if not declarers:
+            return None
+        return max(txn.priority for txn in declarers)
+
+    def rw_ceiling(self, oid: int) -> Optional[float]:
+        """Dynamic rw-priority ceiling of a *locked* object."""
+        if self.locks.write_locked(oid):
+            return self.absolute_ceiling(oid)
+        return self.write_ceiling(oid)
+
+    def _ceiling_barrier(self, txn: Transaction):
+        """(ceiling, oid) of the highest rw-ceiling among objects locked
+        by transactions other than ``txn``; (None, None) if no such
+        object or none of them has a ceiling."""
+        best: Optional[float] = None
+        best_oid: Optional[int] = None
+        for oid in self.locks.locked_oids():
+            holders = self.locks.holders(oid)
+            if not any(holder is not txn for holder in holders):
+                continue
+            ceiling = self.rw_ceiling(oid)
+            if ceiling is None:
+                continue
+            if best is None or ceiling > best:
+                best, best_oid = ceiling, oid
+        return best, best_oid
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def acquire(self, txn: Transaction, oid: int, mode: LockMode):
+        if txn not in self.active:
+            raise LockError(f"transaction {txn.tid} must be registered "
+                            f"before acquiring locks under {self.name}")
+        if self.exclusive_only:
+            mode = LockMode.WRITE
+        return super().acquire(txn, oid, mode)
+
+    def _can_acquire(self, txn: Transaction, oid: int,
+                     mode: LockMode) -> bool:
+        barrier, __ = self._ceiling_barrier(txn)
+        if barrier is not None and txn.priority <= barrier:
+            return False
+        # The ceiling test passed; the grant must be conflict-free.
+        # A failure here is an implementation bug, never a run condition.
+        if not self.locks.can_grant(oid, txn, mode):
+            raise LockError(
+                f"ceiling test admitted txn {txn.tid} (prio "
+                f"{txn.priority}) for {mode} on {oid}, but holders "
+                f"{self.locks.holders(oid)} conflict — ceiling "
+                f"subsumption violated")
+        return True
+
+    # ------------------------------------------------------------------
+    # wakeup order and inheritance
+    # ------------------------------------------------------------------
+    def _grant_order(self) -> List[Request]:
+        return sorted(self.waiting,
+                      key=lambda r: (-r.txn.priority, r.seq))
+
+    def _blocking_holders(self, request: Request) -> List[Transaction]:
+        """Holder(s) of the lock with the highest rw-ceiling — the
+        transaction(s) 'blocking' this request in the protocol's sense."""
+        __, oid = self._ceiling_barrier(request.txn)
+        if oid is None:
+            return []
+        return [holder for holder in self.locks.holders(oid)
+                if holder is not request.txn]
+
+    def _after_change(self) -> None:
+        # Same fixpoint structure as PI, but the inheritance edge goes to
+        # the holder of the highest-ceiling lock rather than to direct
+        # lock conflicters.
+        for __ in range(len(self.waiting) + 1):
+            contributions: dict = {}
+            for request in self.waiting:
+                waiter_priority = request.waiter_priority()
+                for holder in self._blocking_holders(request):
+                    current = contributions.get(holder)
+                    if current is None or current < waiter_priority:
+                        contributions[holder] = waiter_priority
+            if not self._apply_inheritance(contributions):
+                break

@@ -1,0 +1,166 @@
+"""Strict two-phase locking: protocols L (no priority) and P (priority).
+
+Both follow strict 2PL — all locks are held until commit or abort.  The
+difference is purely in *ordering*:
+
+- **protocol L** (:class:`TwoPhaseLocking`): FCFS lock queues and a
+  non-preemptive FCFS CPU — the conventional database manager the paper
+  uses as the bottom baseline ("they do not schedule their transactions
+  to meet response time requirements");
+- **protocol P** (:class:`TwoPhaseLockingPriority`): priority-ordered
+  lock queues and a preemptive-priority CPU, but *no* priority
+  inheritance and *no* ceiling — the "two-phase locking protocol with
+  priority mode" of Figure 2/3, which still suffers priority inversion
+  and deadlock.
+
+Deadlocks are possible in both; they are detected continuously (at block
+time) via the waits-for graph and resolved by aborting a victim, which
+releases its locks and restarts from scratch with its original deadline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..db.locks import LockMode
+from ..txn.transaction import DeadlockAbort, Transaction
+from .base import ConcurrencyControl, Request
+from .deadlock import VICTIM_POLICIES, build_waits_for, choose_victim
+
+
+class TwoPhaseLocking(ConcurrencyControl):
+    """Protocol L: strict 2PL, FCFS queues, FCFS CPU."""
+
+    name = "L"
+    cpu_policy = "fifo"
+    queue_policy = "fifo"
+
+    def __init__(self, kernel, victim_policy: str = "none"):
+        super().__init__(kernel)
+        if victim_policy not in VICTIM_POLICIES:
+            raise ValueError(f"unknown victim policy {victim_policy!r}; "
+                             f"expected one of {VICTIM_POLICIES}")
+        self.victim_policy = victim_policy
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _can_acquire(self, txn: Transaction, oid: int,
+                     mode: LockMode) -> bool:
+        if not self.locks.can_grant(oid, txn, mode):
+            return False
+        return not self._queue_blocks(txn, oid)
+
+    def _queue_blocks(self, txn: Transaction, oid: int) -> bool:
+        """Fairness: a request may not jump waiters 'ahead' of it on the
+        same object.  Being ahead depends on the queue policy."""
+        own = self._own_request(txn, oid)
+        for request in self.waiting:
+            if request.oid != oid or request.txn is txn:
+                continue
+            if self._ahead_of(request, own, txn):
+                return True
+        return False
+
+    def _own_request(self, txn: Transaction,
+                     oid: int) -> Optional[Request]:
+        for request in self.waiting:
+            if request.txn is txn and request.oid == oid:
+                return request
+        return None
+
+    def _ahead_of(self, other: Request, own: Optional[Request],
+                  txn: Transaction) -> bool:
+        """Is ``other`` ahead of ``txn``'s request (``own`` when already
+        queued, a hypothetical brand-new request when own is None)?
+
+        FIFO: everything already queued is ahead of a newcomer.
+        Priority: a newcomer ranks by its priority (losing ties to
+        queued requests), so an urgent request genuinely jumps the line.
+        """
+        if self.queue_policy == "fifo":
+            return own is None or other.seq < own.seq
+        other_key = (other.txn.priority, -other.seq)
+        own_key = ((own.txn.priority, -own.seq) if own is not None
+                   else (txn.priority, float("-inf")))
+        return other_key > own_key
+
+    # ------------------------------------------------------------------
+    # wakeup order
+    # ------------------------------------------------------------------
+    def _grant_order(self) -> List[Request]:
+        if self.queue_policy == "fifo":
+            return sorted(self.waiting, key=lambda r: r.seq)
+        return sorted(self.waiting,
+                      key=lambda r: (-r.txn.priority, r.seq))
+
+    # ------------------------------------------------------------------
+    # deadlock handling
+    # ------------------------------------------------------------------
+    def _on_block(self, request: Request) -> None:
+        graph = self._waits_for()
+        cycle = graph.find_cycle_through(request.txn)
+        if cycle is None:
+            return
+        self.stats.deadlocks += 1
+        if self.victim_policy == "none":
+            # The paper's model: no deadlock resolution exists; the
+            # cycle persists until one member's hard deadline expires
+            # and its abort frees the locks.  The cycle is still
+            # *counted* so Figure-3 analysis can report deadlock rates.
+            return
+        victim = self._select_victim(cycle, request)
+        if victim is request.txn:
+            # Abort the requester in-line: undo the enqueue, then raise;
+            # the kernel delivers the interrupt into its generator.
+            self.waiting.remove(request)
+            request.process.blocker = None
+            raise DeadlockAbort(f"deadlock cycle "
+                                f"{[t.tid for t in cycle]}")
+        self.kernel.interrupt(
+            victim.process,
+            DeadlockAbort(f"deadlock cycle {[t.tid for t in cycle]}"))
+
+    def _select_victim(self, cycle, request: Request) -> Transaction:
+        """Apply the victim policy over members that can actually break
+        the cycle.
+
+        A member that holds no locks sits on the cycle only through
+        queue-fairness edges; aborting it removes nothing the others
+        wait on, the residual resource cycle persists, and — when that
+        member is the restarting requester — detection re-fires in zero
+        virtual time, forever.  Victims are therefore chosen among the
+        lock-holding members; the requester is only eligible while it
+        holds locks itself.
+        """
+        holders = [txn for txn in cycle if self.locks.locks_of(txn)]
+        candidates = holders if holders else list(cycle)
+        if (self.victim_policy == "requester"
+                and request.txn not in candidates):
+            # The requester cannot break the cycle: fall back to the
+            # youngest lock-holding member.
+            return choose_victim(candidates, "youngest", request.txn)
+        return choose_victim(candidates, self.victim_policy, request.txn)
+
+    def _waits_for(self):
+        graph = build_waits_for(self.waiting, self.locks)
+        # Queue-order waits are waits too: without these edges a cycle
+        # closed through a fairness wait would go undetected.
+        for request in self.waiting:
+            for other in self.waiting:
+                if (other.oid == request.oid
+                        and other.txn is not request.txn
+                        and self._ahead_of(other, request, request.txn)):
+                    graph.add_edges(request.txn, [other.txn])
+        return graph
+
+
+class TwoPhaseLockingPriority(TwoPhaseLocking):
+    """Protocol P: strict 2PL with priority queues and preemptive CPU."""
+
+    name = "P"
+    cpu_policy = "priority"
+    queue_policy = "priority"
+
+    def __init__(self, kernel, victim_policy: str = "none"):
+        super().__init__(kernel, victim_policy=victim_policy)

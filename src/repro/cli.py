@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate any figure or ablation.
+
+    python -m repro fig2 --replications 5
+    python -m repro fig5
+    python -m repro a1
+    python -m repro all --replications 3
+
+Each command runs the corresponding sweep from :mod:`repro.bench` and
+prints the text table the benchmark harness would print.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .bench import (format_dbsize, format_deadlock_policies,
+                    format_fig2, format_fig3, format_fig4, format_fig5,
+                    format_fig6, format_inheritance,
+                    format_io_models, format_rw_vs_exclusive,
+                    format_snapshot_reads,
+                    format_temporal, run_dbsize_sweep,
+                    run_deadlock_policies, run_fig2_fig3, run_fig4,
+                    run_io_models,
+                    run_fig5, run_fig6, run_inheritance_vs_ceiling,
+                    run_rw_vs_exclusive, run_snapshot_reads,
+                    run_temporal_staleness)
+
+
+def _fig2(replications: int) -> str:
+    return format_fig2(run_fig2_fig3(replications=replications))
+
+
+def _fig3(replications: int) -> str:
+    return format_fig3(run_fig2_fig3(replications=replications))
+
+
+def _fig23(replications: int) -> str:
+    series = run_fig2_fig3(replications=replications)
+    return format_fig2(series) + "\n\n" + format_fig3(series)
+
+
+def _fig4(replications: int) -> str:
+    return format_fig4(run_fig4(replications=replications))
+
+
+def _fig5(replications: int) -> str:
+    return format_fig5(run_fig5(replications=replications))
+
+
+def _fig6(replications: int) -> str:
+    return format_fig6(run_fig6(replications=replications))
+
+
+def _a1(replications: int) -> str:
+    return format_rw_vs_exclusive(
+        run_rw_vs_exclusive(replications=replications))
+
+
+def _a2(replications: int) -> str:
+    return format_inheritance(
+        run_inheritance_vs_ceiling(replications=replications))
+
+
+def _a3(replications: int) -> str:
+    return format_dbsize(run_dbsize_sweep(replications=replications))
+
+
+def _a4(replications: int) -> str:
+    return format_temporal(
+        run_temporal_staleness(replications=max(1, replications // 2)))
+
+
+def _a6(replications: int) -> str:
+    return format_snapshot_reads(
+        run_snapshot_reads(replications=replications))
+
+
+def _a7(replications: int) -> str:
+    return format_io_models(run_io_models(replications=replications))
+
+
+def _a5(replications: int) -> str:
+    return format_deadlock_policies(
+        run_deadlock_policies(replications=replications))
+
+
+COMMANDS: Dict[str, Tuple[Callable[[int], str], str]] = {
+    "fig2": (_fig2, "Figure 2 - throughput vs transaction size"),
+    "fig3": (_fig3, "Figure 3 - %% deadline-missing vs size"),
+    "fig23": (_fig23, "Figures 2+3 in one sweep"),
+    "fig4": (_fig4, "Figure 4 - local/global throughput ratio"),
+    "fig5": (_fig5, "Figure 5 - global/local missing ratio vs delay"),
+    "fig6": (_fig6, "Figure 6 - %% missing vs transaction mix"),
+    "a1": (_a1, "Ablation A1 - rw vs exclusive lock semantics"),
+    "a2": (_a2, "Ablation A2 - priority inheritance vs ceiling"),
+    "a3": (_a3, "Ablation A3 - database size sweep"),
+    "a4": (_a4, "Ablation A4 - replica staleness vs delay"),
+    "a5": (_a5, "Ablation A5 - 2PL deadlock policies"),
+    "a6": (_a6, "Ablation A6 - lock-free snapshot reads"),
+    "a7": (_a7, "Ablation A7 - bounded disks vs parallel I/O"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures and ablations of Son & "
+                    "Chang (ICDCS 1990).")
+    choices = list(COMMANDS) + ["all"]
+    parser.add_argument("command", choices=choices,
+                        help="which figure/ablation to run "
+                             "('all' runs everything)")
+    parser.add_argument("--replications", type=int, default=5,
+                        help="seeded runs averaged per sweep point "
+                             "(paper used 10; default 5)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replications < 1:
+        print("error: --replications must be >= 1", file=sys.stderr)
+        return 2
+    names = list(COMMANDS) if args.command == "all" else [args.command]
+    if args.command == "all":
+        names.remove("fig2")   # fig23 covers both in one sweep
+        names.remove("fig3")
+    for name in names:
+        runner, __ = COMMANDS[name]
+        started = time.time()
+        print(runner(args.replications))
+        print(f"[{name}: {time.time() - started:.1f}s, "
+              f"{args.replications} replications]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Core facade: configuration, builders, monitoring, experiments."""
+
+from .analysis import (ceiling_load_estimate, ceiling_pipeline_capacity,
+                       cpu_bound_capacity, cpu_utilisation_estimate,
+                       expected_deadlocks, fitted_power_law_exponent,
+                       gray_deadlock_probability, offered_object_rate)
+from .builder import SingleSiteSystem
+from .config import (DISTRIBUTED_MODES, DistributedConfig,
+                     SingleSiteConfig, TimingConfig, WorkloadConfig)
+from .experiment import (compare_protocols, replicate, run_distributed,
+                         run_single_site, sweep)
+from .metrics import (aggregate_runs, confidence_interval, mean,
+                      missed_ratio, safe_ratio, sample_std,
+                      throughput_ratio)
+from .monitor import PerformanceMonitor, TransactionRecord
+from .reporting import comparison_table, format_table, series_table
+from .validate import (CeilingAuditor, InvariantViolation,
+                       LockDisciplineAuditor)
+
+__all__ = [
+    "CeilingAuditor",
+    "InvariantViolation",
+    "LockDisciplineAuditor",
+    "ceiling_load_estimate",
+    "ceiling_pipeline_capacity",
+    "cpu_bound_capacity",
+    "cpu_utilisation_estimate",
+    "expected_deadlocks",
+    "fitted_power_law_exponent",
+    "gray_deadlock_probability",
+    "offered_object_rate",
+    "DISTRIBUTED_MODES",
+    "DistributedConfig",
+    "PerformanceMonitor",
+    "SingleSiteConfig",
+    "SingleSiteSystem",
+    "TimingConfig",
+    "TransactionRecord",
+    "WorkloadConfig",
+    "aggregate_runs",
+    "compare_protocols",
+    "comparison_table",
+    "confidence_interval",
+    "format_table",
+    "mean",
+    "missed_ratio",
+    "replicate",
+    "run_distributed",
+    "run_single_site",
+    "safe_ratio",
+    "sample_std",
+    "series_table",
+    "sweep",
+    "throughput_ratio",
+]

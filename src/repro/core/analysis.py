@@ -1,0 +1,112 @@
+"""Closed-form performance bounds, for cross-checking the simulation.
+
+The paper's claims have analytic backbones; this module states them as
+formulas the tests compare measurements against:
+
+- **Ceiling-pipeline capacity.**  Under earliest-deadline-first with a
+  fixed transaction size, every arrival ranks below all active
+  transactions, so the ceiling admission rule serialises lock-holding:
+  at most one transaction advances through its operations at a time.
+  Normalised throughput is therefore capped at
+  ``1 / (cpu_per_object + io_per_object)`` objects per time unit —
+  independent of the transaction size, which *is* Figure 2's flat
+  C-curve.
+
+- **CPU-bound 2PL capacity.**  With parallel I/O and negligible
+  conflicts, 2PL saturates the CPU: at most ``1 / cpu_per_object``
+  objects per time unit.
+
+- **Gray's deadlock law.**  "The probability of deadlocks would go up
+  with the fourth power of the transaction size" [Gray81]: for n-object
+  transactions over a db of D objects with k concurrent transactions,
+  P(deadlock per transaction) ≈ k · n⁴ / (4 · D²) — the Figure-3 driver.
+
+- **Offered load.**  λ · n · cpu_per_object on the CPU and
+  λ · n / capacity on the ceiling pipeline; sweeps cross 1.0 where the
+  curves in Figures 2/3 bend.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..txn.manager import CostModel
+
+
+def ceiling_pipeline_capacity(costs: CostModel) -> float:
+    """Max normalised throughput (objects/time) of the serial ceiling
+    pipeline."""
+    if costs.per_object_time <= 0:
+        raise ValueError("per-object time must be positive")
+    return 1.0 / costs.per_object_time
+
+
+def cpu_bound_capacity(costs: CostModel) -> float:
+    """Max normalised throughput of a conflict-free, parallel-I/O
+    system: the CPU is the only serial stage."""
+    if costs.cpu_per_object <= 0:
+        raise ValueError("cpu_per_object must be positive")
+    return 1.0 / costs.cpu_per_object
+
+
+def offered_object_rate(mean_interarrival: float,
+                        transaction_size: int) -> float:
+    """Objects per time unit entering the system."""
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    return transaction_size / mean_interarrival
+
+
+def cpu_utilisation_estimate(mean_interarrival: float,
+                             transaction_size: int,
+                             costs: CostModel) -> float:
+    """Open-system CPU load λ·n·c (can exceed 1 = overload)."""
+    return (offered_object_rate(mean_interarrival, transaction_size)
+            * costs.cpu_per_object)
+
+
+def ceiling_load_estimate(mean_interarrival: float,
+                          transaction_size: int,
+                          costs: CostModel) -> float:
+    """Load on the ceiling pipeline (1.0 = its saturation point)."""
+    return (offered_object_rate(mean_interarrival, transaction_size)
+            / ceiling_pipeline_capacity(costs))
+
+
+def gray_deadlock_probability(transaction_size: int, db_size: int,
+                              concurrent: float) -> float:
+    """Gray's approximation: P(a transaction deadlocks) ≈
+    k·n⁴ / (4·D²), clamped to [0, 1]."""
+    if db_size < 1 or transaction_size < 1 or concurrent < 0:
+        raise ValueError("invalid arguments")
+    probability = (concurrent * transaction_size ** 4
+                   / (4.0 * db_size ** 2))
+    return min(1.0, probability)
+
+
+def expected_deadlocks(n_transactions: int, transaction_size: int,
+                       db_size: int, concurrent: float) -> float:
+    """Expected deadlock count over a run of ``n_transactions``."""
+    return n_transactions * gray_deadlock_probability(
+        transaction_size, db_size, concurrent)
+
+
+def fitted_power_law_exponent(xs, ys) -> float:
+    """Least-squares slope of log(y) on log(x) — used to verify that
+    measured deadlock counts scale like size^4-ish.
+
+    Points with non-positive y are dropped (log undefined); at least
+    two surviving points are required.
+    """
+    points = [(math.log(x), math.log(y)) for x, y in zip(xs, ys)
+              if x > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(points)
+    mean_x = sum(x for x, __ in points) / n
+    mean_y = sum(y for __, y in points) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, __ in points)
+    if denominator == 0:
+        raise ValueError("degenerate x values")
+    return numerator / denominator

@@ -1,0 +1,149 @@
+"""Configuration dataclasses — the User Interface's parameter space.
+
+The paper's menu-driven UI lets a user specify system configuration
+(sites, topology, relative speeds), database configuration (size,
+granularity, replication), load characteristics (transaction count,
+read/write-set sizes, types, priorities, interarrival times) and the
+concurrency-control method.  These dataclasses are the programmatic
+equivalent; :mod:`repro.core.builder` plays the Configuration Manager,
+"initializing necessary data structures for transaction processing
+based on user specification".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..cc import PROTOCOLS
+from ..txn.manager import CostModel
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadConfig:
+    """Load characteristics (§2's 'load characteristics' menu)."""
+
+    n_transactions: int = 200
+    mean_interarrival: float = 2.0
+    transaction_size: int = 8
+    size_jitter: int = 0
+    read_only_fraction: float = 0.0
+    write_fraction: float = 1.0
+
+    def validate(self) -> None:
+        if self.n_transactions < 1:
+            raise ValueError("n_transactions must be >= 1")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if self.transaction_size < 1:
+            raise ValueError("transaction_size must be >= 1")
+        if self.size_jitter < 0:
+            raise ValueError("size_jitter must be >= 0")
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise ValueError("read_only_fraction must be in [0, 1]")
+        if not 0.0 < self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in (0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingConfig:
+    """Deadline and priority policy (§3.3's deadline formula)."""
+
+    slack_factor: float = 6.0
+    load_factor: float = 0.0
+    priority_policy: str = "edf"
+
+    def validate(self) -> None:
+        if self.slack_factor <= 0:
+            raise ValueError("slack_factor must be positive")
+        if self.load_factor < 0:
+            raise ValueError("load_factor must be >= 0")
+        if self.priority_policy not in ("edf", "fcfs"):
+            raise ValueError(f"unknown priority policy "
+                             f"{self.priority_policy!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SingleSiteConfig:
+    """One single-site experiment run (Figures 2 and 3)."""
+
+    protocol: str = "C"
+    db_size: int = 200
+    workload: WorkloadConfig = dataclasses.field(
+        default_factory=WorkloadConfig)
+    timing: TimingConfig = dataclasses.field(default_factory=TimingConfig)
+    costs: CostModel = dataclasses.field(default_factory=CostModel)
+    seed: int = 1
+    #: I/O model: None reproduces the paper's parallel-I/O assumption
+    #: (infinite servers); an integer k bounds the I/O subsystem to a
+    #: k-server disk array (sensitivity study A7).
+    io_servers: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"expected one of {PROTOCOLS}")
+        if self.db_size < 1:
+            raise ValueError("db_size must be >= 1")
+        if self.io_servers is not None and self.io_servers < 1:
+            raise ValueError("io_servers must be >= 1 (or None for "
+                             "parallel I/O)")
+        self.workload.validate()
+        self.timing.validate()
+        if (self.workload.transaction_size + self.workload.size_jitter
+                > self.db_size):
+            raise ValueError("transaction_size exceeds database size")
+
+
+DISTRIBUTED_MODES = ("global", "local")
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributedConfig:
+    """One distributed experiment run (Figures 4-6).
+
+    Matches the paper's setup defaults: "three sites with fully
+    interconnected communication network ... we did not include any I/O
+    cost ... a memory-resident database system" — hence
+    ``CostModel(io_per_object=0.0)``.
+    """
+
+    mode: str = "local"
+    n_sites: int = 3
+    gcm_site: int = 0
+    comm_delay: float = 1.0
+    db_size: int = 300
+    workload: WorkloadConfig = dataclasses.field(
+        default_factory=lambda: WorkloadConfig(read_only_fraction=0.5))
+    timing: TimingConfig = dataclasses.field(default_factory=TimingConfig)
+    costs: CostModel = dataclasses.field(
+        default_factory=lambda: CostModel(io_per_object=0.0))
+    seed: int = 1
+    #: Enable the §4 extension: multiversion timestamped secondary
+    #: copies for temporally consistent reads.
+    temporal_versions: bool = False
+    #: Serve read-only transactions from lock-free multiversion
+    #: snapshots instead of read locks (local mode only; requires
+    #: ``temporal_versions``).  The §4 mechanism as a scheduling
+    #: optimisation: readers never block and never ceiling-block
+    #: writers.
+    snapshot_reads: bool = False
+
+    def validate(self) -> None:
+        if self.mode not in DISTRIBUTED_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one "
+                             f"of {DISTRIBUTED_MODES}")
+        if self.n_sites < 2:
+            raise ValueError("distributed runs need >= 2 sites")
+        if not 0 <= self.gcm_site < self.n_sites:
+            raise ValueError("gcm_site outside the site range")
+        if self.comm_delay < 0:
+            raise ValueError("comm_delay must be >= 0")
+        if self.db_size < self.n_sites:
+            raise ValueError("db_size must be >= n_sites")
+        if self.snapshot_reads and not self.temporal_versions:
+            raise ValueError("snapshot_reads requires temporal_versions")
+        if self.snapshot_reads and self.mode != "local":
+            raise ValueError("snapshot_reads is a local-mode feature")
+        self.workload.validate()
+        self.timing.validate()

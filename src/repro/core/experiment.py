@@ -1,0 +1,88 @@
+"""Experiment runner: seeded replications and parameter sweeps.
+
+"For each experiment and for each algorithm tested, we collected
+performance statistics and averaged over the 10 runs."  The runner
+replays each configuration under ``replications`` different seeds and
+averages the summary rows; sweeps vary one knob and produce the series
+a figure plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..dist.system import DistributedSystem
+from .builder import SingleSiteSystem
+from .config import DistributedConfig, SingleSiteConfig
+from .metrics import aggregate_runs
+
+
+def run_single_site(config: SingleSiteConfig) -> dict:
+    """One seeded single-site run -> summary row."""
+    system = SingleSiteSystem(config)
+    system.run()
+    return system.summary()
+
+
+def run_distributed(config: DistributedConfig) -> dict:
+    """One seeded distributed run -> summary row."""
+    system = DistributedSystem(config)
+    system.run()
+    row = system.summary()
+    row["max_staleness"] = system.max_staleness()
+    return row
+
+
+def replicate(config, replications: int = 10,
+              base_seed: int = 1) -> Dict[str, float]:
+    """Run ``config`` under ``replications`` seeds and average.
+
+    ``config`` may be a :class:`SingleSiteConfig` or a
+    :class:`DistributedConfig`; the seed field is replaced per run.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    rows: List[dict] = []
+    for replication in range(replications):
+        seeded = dataclasses.replace(config,
+                                     seed=base_seed + 1000 * replication)
+        if isinstance(seeded, SingleSiteConfig):
+            rows.append(run_single_site(seeded))
+        elif isinstance(seeded, DistributedConfig):
+            rows.append(run_distributed(seeded))
+        else:
+            raise TypeError(f"unknown config type {type(config).__name__}")
+    return aggregate_runs(rows)
+
+
+def sweep(make_config: Callable[[object], object],
+          values: Sequence, replications: int = 10,
+          base_seed: int = 1) -> List[Dict[str, float]]:
+    """Evaluate ``make_config(value)`` for each value in ``values``.
+
+    Returns one averaged row per value, with the swept value recorded
+    under ``"x"``.  This is the generic engine behind every figure:
+    Figure 2 sweeps transaction size, Figure 4 sweeps the transaction
+    mix, Figure 5 the communication delay, and so on.
+    """
+    series: List[Dict[str, float]] = []
+    for value in values:
+        row = replicate(make_config(value), replications=replications,
+                        base_seed=base_seed)
+        row["x"] = float(value)
+        series.append(row)
+    return series
+
+
+def compare_protocols(base_config: SingleSiteConfig,
+                      protocols: Iterable[str],
+                      replications: int = 10,
+                      base_seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Run the same workload under several protocols (Figures 2/3)."""
+    results: Dict[str, Dict[str, float]] = {}
+    for protocol in protocols:
+        config = dataclasses.replace(base_config, protocol=protocol)
+        results[protocol] = replicate(config, replications=replications,
+                                      base_seed=base_seed)
+    return results

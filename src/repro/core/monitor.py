@@ -1,0 +1,173 @@
+"""Performance Monitor.
+
+"The Performance Monitor interacts with the transaction managers to
+record priority/timestamp and read/write data set for each transaction,
+time when each event occurred, statistics for each transaction in each
+node.  The statistics for a transaction includes arrival time, start
+time, total processing time, blocked interval, whether deadline was
+missed or not, and the number of aborts."
+
+The monitor receives every finished transaction via the TM's ``on_done``
+callback and exposes the aggregates the paper reports: normalised
+throughput (data objects per second of *successful* transactions) and
+the percentage of deadline-missing transactions
+(%missed = 100 × missed / processed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..txn.transaction import Transaction, TransactionStatus
+
+
+@dataclasses.dataclass(frozen=True)
+class TransactionRecord:
+    """The per-transaction statistics row."""
+
+    tid: int
+    site: int
+    size: int
+    priority: float
+    arrival_time: float
+    start_time: Optional[float]
+    finish_time: Optional[float]
+    deadline: float
+    blocked_time: float
+    restarts: int
+    missed: bool
+    committed: bool
+    read_only: bool
+
+    @property
+    def processing_time(self) -> Optional[float]:
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @classmethod
+    def from_transaction(cls, txn: Transaction) -> "TransactionRecord":
+        return cls(
+            tid=txn.tid, site=txn.site, size=txn.size,
+            priority=txn.priority, arrival_time=txn.arrival_time,
+            start_time=txn.start_time, finish_time=txn.finish_time,
+            deadline=txn.deadline, blocked_time=txn.blocked_time,
+            restarts=txn.restarts, missed=txn.missed,
+            committed=txn.committed, read_only=txn.is_read_only)
+
+
+class PerformanceMonitor:
+    """Collects finished transactions and computes run aggregates."""
+
+    def __init__(self) -> None:
+        self.records: List[TransactionRecord] = []
+        self._first_arrival: Optional[float] = None
+        self._last_finish: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def record(self, txn: Transaction) -> None:
+        """The TM ``on_done`` callback."""
+        if txn.status not in (TransactionStatus.COMMITTED,
+                              TransactionStatus.MISSED):
+            raise ValueError(
+                f"transaction {txn.tid} reported in state {txn.status}")
+        self.records.append(TransactionRecord.from_transaction(txn))
+        if (self._first_arrival is None
+                or txn.arrival_time < self._first_arrival):
+            self._first_arrival = txn.arrival_time
+        if (self._last_finish is None
+                or txn.finish_time > self._last_finish):
+            self._last_finish = txn.finish_time
+
+    # ------------------------------------------------------------------
+    # the paper's aggregates
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Transactions that executed completely or were aborted."""
+        return len(self.records)
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for record in self.records if record.committed)
+
+    @property
+    def missed(self) -> int:
+        return sum(1 for record in self.records if record.missed)
+
+    @property
+    def percent_missed(self) -> float:
+        """%missed = 100 × deadline-missing / processed."""
+        if not self.records:
+            return 0.0
+        return 100.0 * self.missed / self.processed
+
+    @property
+    def elapsed(self) -> float:
+        """Observation interval: first arrival to last completion."""
+        if self._first_arrival is None or self._last_finish is None:
+            return 0.0
+        return self._last_finish - self._first_arrival
+
+    def throughput(self, elapsed: Optional[float] = None) -> float:
+        """Normalised throughput: data objects accessed per second by
+        *successful* transactions — "obtained by multiplying the
+        transaction completion rate by the transaction size"."""
+        window = self.elapsed if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        objects = sum(record.size for record in self.records
+                      if record.committed)
+        return objects / window
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(record.restarts for record in self.records)
+
+    def mean_blocked_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return (sum(record.blocked_time for record in self.records)
+                / len(self.records))
+
+    def mean_response_time(self) -> Optional[float]:
+        times = [record.processing_time for record in self.records
+                 if record.committed and record.processing_time is not None]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def per_site(self) -> Dict[int, "PerformanceMonitor"]:
+        """Split records into one monitor view per site."""
+        result: Dict[int, PerformanceMonitor] = {}
+        for record in self.records:
+            view = result.setdefault(record.site, PerformanceMonitor())
+            view.records.append(record)
+            if (view._first_arrival is None
+                    or record.arrival_time < view._first_arrival):
+                view._first_arrival = record.arrival_time
+            if (view._last_finish is None
+                    or record.finish_time > view._last_finish):
+                view._last_finish = record.finish_time
+        return result
+
+    def summary(self) -> dict:
+        """One flat dict with every aggregate (experiment runner rows)."""
+        return {
+            "processed": self.processed,
+            "committed": self.committed,
+            "missed": self.missed,
+            "percent_missed": self.percent_missed,
+            "throughput": self.throughput(),
+            "elapsed": self.elapsed,
+            "restarts": self.total_restarts,
+            "mean_blocked_time": self.mean_blocked_time(),
+            "mean_response_time": self.mean_response_time(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PerformanceMonitor(processed={self.processed}, "
+                f"missed={self.missed})")

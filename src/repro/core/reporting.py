@@ -1,0 +1,70 @@
+"""Fixed-width tables for experiment series (the figures, as text).
+
+The benchmarks print each figure's series as an aligned table so the
+paper-vs-measured comparison in EXPERIMENTS.md can be regenerated with
+one command.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None,
+                 precision: int = 3) -> str:
+    """Render a simple aligned text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append([_cell(value, precision) for value in row])
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width "
+                             f"{len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index])
+                           for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def series_table(series: Sequence[Dict[str, float]], x_label: str,
+                 columns: Dict[str, str],
+                 title: Optional[str] = None) -> str:
+    """Render sweep output: one row per swept value.
+
+    ``columns`` maps summary keys to display headers, e.g.
+    ``{"throughput": "objects/sec", "percent_missed": "% missed"}``.
+    """
+    headers = [x_label] + list(columns.values())
+    rows = [[row.get("x")] + [row.get(key) for key in columns]
+            for row in series]
+    return format_table(headers, rows, title=title)
+
+
+def comparison_table(results: Dict[str, Dict[str, float]],
+                     columns: Dict[str, str],
+                     title: Optional[str] = None,
+                     key_label: str = "protocol") -> str:
+    """Render a protocol-comparison dict as a table."""
+    headers = [key_label] + list(columns.values())
+    rows = [[name] + [summary.get(key) for key in columns]
+            for name, summary in results.items()]
+    return format_table(headers, rows, title=title)

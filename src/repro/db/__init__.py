@@ -1,0 +1,19 @@
+"""Database substrate: objects, lock table, versions, replication."""
+
+from .locks import LockError, LockMode, LockTable, compatible
+from .objects import Database, DataObject
+from .replication import ReplicaCatalog, ReplicationViolation
+from .versions import MultiVersionStore, NoVersion
+
+__all__ = [
+    "Database",
+    "DataObject",
+    "LockError",
+    "LockMode",
+    "LockTable",
+    "MultiVersionStore",
+    "NoVersion",
+    "ReplicaCatalog",
+    "ReplicationViolation",
+    "compatible",
+]

@@ -1,0 +1,147 @@
+"""Lock modes and the lock table.
+
+The lock table is *pure state*: which owner holds which mode on which
+object, plus the compatibility predicate (including the read→write
+upgrade case).  Blocking policy — who waits, in what order, and when a
+waiter is re-evaluated — belongs to the concurrency-control protocols in
+:mod:`repro.cc`, which is exactly the modular split the paper's
+prototyping environment argues for (swapping the protocol touches only
+the protocol module).
+
+Owners are opaque hashables (the transaction objects of
+:mod:`repro.txn.transaction`, but the table never looks inside them).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterator, List, Optional, Set
+
+
+class LockMode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Classic two-mode compatibility: only read/read is compatible."""
+    return held is LockMode.READ and requested is LockMode.READ
+
+
+class LockError(Exception):
+    """An illegal lock-table transition (grant over a conflict, release
+    of a lock not held).  Always indicates a protocol bug, never a
+    runtime condition, so it is an assertion-style failure."""
+
+
+class LockTable:
+    """Holders per object, with upgrade-aware compatibility checks."""
+
+    def __init__(self) -> None:
+        #: oid -> {owner: mode}
+        self._holders: Dict[int, Dict[Hashable, LockMode]] = {}
+        #: owner -> set of oids it holds (reverse index)
+        self._held_by: Dict[Hashable, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def holders(self, oid: int) -> Dict[Hashable, LockMode]:
+        """Current holders of ``oid`` (empty dict if unlocked)."""
+        return dict(self._holders.get(oid, {}))
+
+    def mode_held(self, oid: int, owner: Hashable) -> Optional[LockMode]:
+        return self._holders.get(oid, {}).get(owner)
+
+    def is_locked(self, oid: int) -> bool:
+        return bool(self._holders.get(oid))
+
+    def write_locked(self, oid: int) -> bool:
+        return any(mode is LockMode.WRITE
+                   for mode in self._holders.get(oid, {}).values())
+
+    def locks_of(self, owner: Hashable) -> Dict[int, LockMode]:
+        """All locks held by ``owner`` as {oid: mode}."""
+        return {oid: self._holders[oid][owner]
+                for oid in self._held_by.get(owner, set())}
+
+    def locked_oids(self) -> Iterator[int]:
+        """Objects with at least one holder."""
+        for oid, holders in self._holders.items():
+            if holders:
+                yield oid
+
+    def owners(self) -> Set[Hashable]:
+        """All owners currently holding at least one lock."""
+        return {owner for owner, oids in self._held_by.items() if oids}
+
+    def can_grant(self, oid: int, owner: Hashable,
+                  mode: LockMode) -> bool:
+        """True if granting would not conflict with *other* holders.
+
+        Handles re-grant (already holding an equal or stronger mode) and
+        the read→write upgrade (allowed only for a sole holder).
+        """
+        holders = self._holders.get(oid, {})
+        held = holders.get(owner)
+        if held is LockMode.WRITE:
+            return True  # already strongest
+        if held is LockMode.READ and mode is LockMode.READ:
+            return True
+        others = [m for o, m in holders.items() if o is not owner]
+        return all(compatible(m, mode) for m in others)
+
+    def conflicting_holders(self, oid: int, owner: Hashable,
+                            mode: LockMode) -> List[Hashable]:
+        """Other owners whose held mode conflicts with ``mode``."""
+        holders = self._holders.get(oid, {})
+        return [o for o, m in holders.items()
+                if o is not owner and not compatible(m, mode)]
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def grant(self, oid: int, owner: Hashable, mode: LockMode) -> None:
+        """Record the lock.  Raises :class:`LockError` on conflict — the
+        protocol must have checked :meth:`can_grant` first."""
+        if not self.can_grant(oid, owner, mode):
+            raise LockError(
+                f"grant {mode} on {oid} to {owner!r} conflicts with "
+                f"{self.holders(oid)}")
+        holders = self._holders.setdefault(oid, {})
+        held = holders.get(owner)
+        if held is LockMode.WRITE:
+            return  # idempotent: write subsumes everything
+        holders[owner] = (LockMode.WRITE if mode is LockMode.WRITE
+                          else LockMode.READ)
+        self._held_by.setdefault(owner, set()).add(oid)
+
+    def release(self, oid: int, owner: Hashable) -> None:
+        """Release one lock.  Raises :class:`LockError` if not held."""
+        holders = self._holders.get(oid)
+        if not holders or owner not in holders:
+            raise LockError(f"{owner!r} does not hold a lock on {oid}")
+        del holders[owner]
+        if not holders:
+            del self._holders[oid]
+        self._held_by[owner].discard(oid)
+        if not self._held_by[owner]:
+            del self._held_by[owner]
+
+    def release_all(self, owner: Hashable) -> List[int]:
+        """Release every lock held by ``owner``; returns the freed oids."""
+        oids = sorted(self._held_by.get(owner, set()))
+        for oid in oids:
+            holders = self._holders[oid]
+            del holders[owner]
+            if not holders:
+                del self._holders[oid]
+        self._held_by.pop(owner, None)
+        return oids
+
+    def __len__(self) -> int:
+        """Total number of (owner, oid) lock grants outstanding."""
+        return sum(len(holders) for holders in self._holders.values())

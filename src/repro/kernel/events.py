@@ -1,0 +1,88 @@
+"""Event queue for the discrete-event kernel.
+
+Events are ordered by ``(time, priority_key, sequence)``.  The sequence
+number makes ordering *stable*: two events scheduled for the same instant
+fire in scheduling order, which keeps every simulation run deterministic
+for a given seed.  Cancelled events stay in the heap and are skipped on
+pop (lazy deletion), which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Event:
+    """A scheduled callback.  Create via :meth:`EventQueue.schedule`."""
+
+    __slots__ = ("time", "key", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, key: float, seq: int,
+                 callback: Callable[[], None]):
+        self.time = time
+        self.key = key
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.key, self.seq) < (other.time, other.key,
+                                                  other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6g}, seq={self.seq}{flag})"
+
+
+class EventQueue:
+    """A stable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def schedule(self, time: float, callback: Callable[[], None],
+                 key: float = 0.0) -> Event:
+        """Schedule ``callback`` to fire at ``time``.
+
+        ``key`` breaks ties among events at the same instant: lower keys
+        fire first.  Returns the :class:`Event`, which may be cancelled.
+        """
+        event = Event(time, key, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

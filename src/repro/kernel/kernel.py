@@ -1,0 +1,233 @@
+"""The concurrent kernel: discrete-event engine + process control.
+
+This is the reproduction of the StarLite kernel layer the paper's
+prototyping environment stands on: it supports creating, readying,
+blocking, interrupting and terminating processes, with deterministic
+virtual time.  All model layers (resources, database, concurrency
+control, transaction managers, message servers) are ordinary process
+code on top of this kernel — exactly the layering the paper argues for,
+where swapping a synchronization protocol touches only its own module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from .clock import Clock
+from .errors import (InvalidProcessState, KernelError, ProcessInterrupt,
+                     SimulationOver)
+from .events import Event, EventQueue
+from .process import Process, ProcessState
+from .rng import RngStreams
+from .syscalls import BLOCKED, Immediate, SysCall
+
+
+class Kernel:
+    """Owns the clock, the event queue, and every process."""
+
+    def __init__(self, seed: int = 0, trace: Optional[Callable] = None):
+        self.clock = Clock()
+        self.events = EventQueue()
+        self.rng = RngStreams(seed)
+        self.processes: List[Process] = []
+        #: Optional callable(time, kind, process, detail) for tracing.
+        self.trace = trace
+        self._dispatching = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule a bare callback at an absolute time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < "
+                             f"{self.now}")
+        return self.events.schedule(time, callback)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule a bare callback ``delay`` units from now."""
+        return self.at(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # process control
+    # ------------------------------------------------------------------
+    def spawn(self, body: Generator, name: str,
+              priority: float = 0.0) -> Process:
+        """Create a process and schedule its first step at the current
+        time (or at simulation start, if called before :meth:`run`)."""
+        if not hasattr(body, "send"):
+            raise TypeError(
+                f"process body must be a generator (did you forget to call "
+                f"the generator function?): got {type(body).__name__}")
+        process = Process(body, name, priority)
+        self.processes.append(process)
+        process.state = ProcessState.READY
+        process.pending_resume = self.events.schedule(
+            self.now, lambda: self._resume(process, None, None))
+        self._log("spawn", process)
+        return process
+
+    def ready(self, process: Process, value: Any = None,
+              exc: Optional[BaseException] = None) -> None:
+        """Unblock ``process``; it resumes at the current instant with
+        ``value`` as the result of its pending yield (or with ``exc``
+        thrown into it).  Called by blockers (semaphores, ports, CPUs,
+        lock managers) when the condition a process waited on occurs."""
+        process.check_not_terminated()
+        if process.state is not ProcessState.BLOCKED:
+            raise InvalidProcessState(
+                f"ready() on non-blocked process {process}")
+        process.blocker = None
+        process.state = ProcessState.READY
+        process.pending_resume = self.events.schedule(
+            self.now, lambda: self._resume(process, value, exc))
+
+    def interrupt(self, process: Process,
+                  exc: ProcessInterrupt) -> bool:
+        """Throw ``exc`` into ``process`` at the current instant.
+
+        Withdraws the process from whatever it is blocked on (delay, CPU
+        burst, lock queue, port), so the structure's state stays
+        consistent.  Returns False if the process already terminated
+        (the interrupt is then a no-op — e.g. a deadline timer firing
+        just as its transaction commits).
+        """
+        if process.terminated:
+            return False
+        if process.state is ProcessState.RUNNING:
+            raise InvalidProcessState("a process cannot interrupt itself; "
+                                      "raise the exception directly instead")
+        if process.pending_resume is not None:
+            self.events.cancel(process.pending_resume)
+            process.pending_resume = None
+        if process.blocker is not None:
+            process.blocker.withdraw(process)
+            process.blocker = None
+        process.state = ProcessState.READY
+        process.pending_resume = self.events.schedule(
+            self.now, lambda: self._resume(process, None, exc))
+        self._log("interrupt", process, exc)
+        return True
+
+    def set_inherited_priority(self, process: Process,
+                               priority: Optional[float]) -> None:
+        """Apply priority inheritance to ``process``.
+
+        If the effective priority changes while the process is consuming
+        a priority-sensitive resource (the CPU), the resource is poked so
+        preemption decisions are re-evaluated immediately.
+        """
+        changed = process.inherit(priority)
+        if changed and process.blocker is not None:
+            poke = getattr(process.blocker, "on_priority_change", None)
+            if poke is not None:
+                poke(process)
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the queue drains or ``until`` is reached.
+
+        Returns the final virtual time.  Re-entrant calls are forbidden
+        (model code must not call run from inside a process).
+        """
+        if self._dispatching:
+            raise SimulationOver("Kernel.run is not re-entrant")
+        self._dispatching = True
+        try:
+            while True:
+                next_time = self.events.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self.events.pop()
+                self.clock.advance_to(event.time)
+                event.callback()
+        finally:
+            self._dispatching = False
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+        return self.now
+
+    def step(self) -> bool:
+        """Dispatch a single event; returns False when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.callback()
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resume(self, process: Process, value: Any,
+                exc: Optional[BaseException]) -> None:
+        """Step the process generator until it blocks or terminates."""
+        process.pending_resume = None
+        process.state = ProcessState.RUNNING
+        while True:
+            try:
+                if exc is not None:
+                    pending, exc = exc, None
+                    item = process.generator.throw(pending)
+                else:
+                    item = process.generator.send(value)
+            except StopIteration as stop:
+                self._terminate(process, result=stop.value)
+                return
+            except ProcessInterrupt as interrupt:
+                # An interrupt the body chose not to handle terminates
+                # the process cleanly, recording the cause.
+                self._terminate(process, exception=interrupt)
+                return
+            if not isinstance(item, SysCall):
+                raise TypeError(
+                    f"process {process.name} yielded {item!r}; processes "
+                    f"must yield SysCall objects")
+            try:
+                outcome = item.apply(self, process)
+            except (ProcessInterrupt, KernelError) as raised:
+                # A syscall may fail its own caller — a lock request that
+                # makes the requester the deadlock victim, a receive on a
+                # closed port.  Deliver the exception at the yield point;
+                # if the body does not handle a KernelError it propagates
+                # out of the generator and crashes the run loudly.
+                exc = raised
+                continue
+            if outcome is BLOCKED:
+                if process.blocker is None:
+                    raise InvalidProcessState(
+                        f"syscall {type(item).__name__} returned BLOCKED "
+                        f"without registering a blocker on {process}")
+                process.state = ProcessState.BLOCKED
+                return
+            if not isinstance(outcome, Immediate):
+                raise TypeError(
+                    f"syscall {type(item).__name__} returned {outcome!r}")
+            value = outcome.value
+
+    def _terminate(self, process: Process, result: Any = None,
+                   exception: Optional[BaseException] = None) -> None:
+        process.state = ProcessState.TERMINATED
+        process.result = result
+        process.exception = exception
+        process.generator.close()
+        self._log("terminate", process, exception)
+        joiners, process.joiners = process.joiners, []
+        for joiner in joiners:
+            if exception is not None:
+                self.ready(joiner, exc=exception)
+            else:
+                self.ready(joiner, value=result)
+
+    def _log(self, kind: str, process: Process, detail: Any = None) -> None:
+        if self.trace is not None:
+            self.trace(self.now, kind, process, detail)

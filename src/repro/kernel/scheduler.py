@@ -1,0 +1,104 @@
+"""Wait queues with pluggable service disciplines.
+
+Every structure in the kernel that parks processes (semaphores, ports,
+lock tables, the CPU ready set) uses a :class:`WaitQueue`.  Two policies
+cover the paper's protocols:
+
+- ``fifo``    — first-come-first-served; the two-phase locking baseline
+  ("protocol L") uses this everywhere.
+- ``priority``— highest ``effective_priority`` first, FIFO among equals;
+  the priority-mode protocols ("P", "C") use this.
+
+Because priorities are *dynamic* (priority inheritance), the priority
+policy selects the maximum at dequeue time rather than keeping a heap
+keyed by a stale priority.  Queues in this model are short (a few tens of
+waiters), so the O(n) scan is irrelevant and correctness under priority
+mutation comes for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .process import Process
+
+T = TypeVar("T")
+
+POLICIES = ("fifo", "priority")
+
+
+class WaitQueue(Generic[T]):
+    """Queue of ``(process, item)`` pairs with FIFO or priority service."""
+
+    def __init__(self, policy: str = "fifo"):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown wait-queue policy {policy!r}; "
+                             f"expected one of {POLICIES}")
+        self.policy = policy
+        self._entries: List[Tuple[int, Process, T]] = []
+        self._seq = itertools.count()
+
+    def push(self, process: Process, item: T = None) -> None:
+        """Enqueue a process with an optional payload."""
+        self._entries.append((next(self._seq), process, item))
+
+    def pop(self) -> Tuple[Process, T]:
+        """Dequeue the next process according to the policy."""
+        if not self._entries:
+            raise IndexError("pop from empty WaitQueue")
+        index = self._select_index()
+        __, process, item = self._entries.pop(index)
+        return process, item
+
+    def peek(self) -> Tuple[Process, T]:
+        """Return (without removing) the next process."""
+        if not self._entries:
+            raise IndexError("peek on empty WaitQueue")
+        __, process, item = self._entries[self._select_index()]
+        return process, item
+
+    def _select_index(self) -> int:
+        if self.policy == "fifo":
+            return 0
+        # priority: max effective_priority; FIFO (lowest seq) among ties.
+        best = 0
+        best_key = (self._entries[0][1].effective_priority,
+                    -self._entries[0][0])
+        for i in range(1, len(self._entries)):
+            seq, process, __ = self._entries[i]
+            key = (process.effective_priority, -seq)
+            if key > best_key:
+                best, best_key = i, key
+        return best
+
+    def remove(self, process: Process) -> bool:
+        """Withdraw a specific process (e.g. on interrupt).
+
+        Returns True if the process was queued.
+        """
+        for i, (__, queued, ___) in enumerate(self._entries):
+            if queued is process:
+                del self._entries[i]
+                return True
+        return False
+
+    def __contains__(self, process: Process) -> bool:
+        return any(queued is process for __, queued, ___ in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def processes(self) -> Iterator[Process]:
+        """Iterate queued processes in arrival order."""
+        for __, process, ___ in self._entries:
+            yield process
+
+    def max_priority(self) -> Optional[float]:
+        """Highest effective priority among waiters, or None if empty."""
+        if not self._entries:
+            return None
+        return max(p.effective_priority for __, p, ___ in self._entries)

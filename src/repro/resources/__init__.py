@@ -1,0 +1,6 @@
+"""Hardware resource models: CPUs and I/O devices."""
+
+from .cpu import CPU
+from .io import DiskArray, ParallelIO
+
+__all__ = ["CPU", "DiskArray", "ParallelIO"]

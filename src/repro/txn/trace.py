@@ -1,0 +1,99 @@
+"""Workload trace export/import.
+
+Experiments become fully portable when the exact arrival schedule can
+be saved and replayed: a JSON trace file captures every
+:class:`TransactionSpec` (arrival, operations, site, type), so a
+workload generated once can be rerun against any protocol, any
+architecture, or a future version of the library — the
+common-random-numbers discipline made durable.
+
+Format (version 1)::
+
+    {"version": 1,
+     "specs": [
+        {"arrival": 3.25,
+         "site": 0,
+         "type": "update",
+         "periodic": false,
+         "operations": [[17, "w"], [4, "r"]]},
+        ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, TextIO, Union
+
+from ..db.locks import LockMode
+from .generator import TransactionSpec
+from .transaction import TransactionType
+
+FORMAT_VERSION = 1
+
+_MODE_TO_CODE = {LockMode.READ: "r", LockMode.WRITE: "w"}
+_CODE_TO_MODE = {"r": LockMode.READ, "w": LockMode.WRITE}
+
+
+class TraceFormatError(ValueError):
+    """The trace document is malformed or from an unknown version."""
+
+
+def spec_to_dict(spec: TransactionSpec) -> dict:
+    return {
+        "arrival": spec.arrival,
+        "site": spec.site,
+        "type": spec.txn_type.value,
+        "periodic": spec.periodic,
+        "operations": [[oid, _MODE_TO_CODE[mode]]
+                       for oid, mode in spec.operations],
+    }
+
+
+def spec_from_dict(document: dict) -> TransactionSpec:
+    try:
+        operations = tuple((int(oid), _CODE_TO_MODE[code])
+                           for oid, code in document["operations"])
+        return TransactionSpec(
+            arrival=float(document["arrival"]),
+            operations=operations,
+            site=int(document.get("site", 0)),
+            txn_type=TransactionType(document.get("type", "update")),
+            periodic=bool(document.get("periodic", False)))
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceFormatError(f"malformed spec {document!r}: {error}"
+                               ) from error
+
+
+def dump_schedule(specs: Sequence[TransactionSpec],
+                  destination: Union[str, TextIO]) -> None:
+    """Write a schedule to a path or open text file."""
+    document = {"version": FORMAT_VERSION,
+                "specs": [spec_to_dict(spec) for spec in specs]}
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=1)
+    else:
+        json.dump(document, destination, indent=1)
+
+
+def load_schedule(source: Union[str, TextIO]) -> List[TransactionSpec]:
+    """Read a schedule from a path or open text file."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(source)
+    if not isinstance(document, dict):
+        raise TraceFormatError("trace root must be an object")
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace version {version!r} "
+                               f"(expected {FORMAT_VERSION})")
+    specs = document.get("specs")
+    if not isinstance(specs, list):
+        raise TraceFormatError("trace must contain a 'specs' list")
+    schedule = [spec_from_dict(entry) for entry in specs]
+    arrivals = [spec.arrival for spec in schedule]
+    if arrivals != sorted(arrivals):
+        raise TraceFormatError("trace arrivals must be non-decreasing")
+    return schedule

@@ -1,0 +1,97 @@
+"""Two-phase commit bookkeeping.
+
+The wire protocol (Prepare/Vote/Decide/Ack messages) and the coordinator
+driver live in :mod:`repro.dist.global_ceiling`, where the paper's global
+approach runs 2PC across the sites holding a transaction's written
+primaries ("TM executes the two-phase commit protocol to ensure that a
+transaction commits or aborts globally").  This module provides the
+protocol-state machine both sides share, so the decision logic is
+testable without a network.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+
+class CommitPhase(enum.Enum):
+    INIT = "init"
+    PREPARING = "preparing"    # prepares sent, collecting votes
+    DECIDED_COMMIT = "decided_commit"
+    DECIDED_ABORT = "decided_abort"
+    DONE = "done"              # all acks in
+
+
+class TwoPhaseCommit:
+    """Coordinator-side state machine for one transaction."""
+
+    def __init__(self, txn_tid: int, participants: Iterable[int]):
+        self.txn_tid = txn_tid
+        self.participants: List[int] = sorted(set(participants))
+        self.phase = CommitPhase.INIT
+        self._votes: Dict[int, bool] = {}
+        self._acks: set = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> List[int]:
+        """Enter PREPARING; returns the sites to send Prepare to.
+
+        With no participants the commit is purely local and the phase
+        jumps straight to DECIDED_COMMIT.
+        """
+        if self.phase is not CommitPhase.INIT:
+            raise ValueError(f"start() in phase {self.phase}")
+        if not self.participants:
+            self.phase = CommitPhase.DECIDED_COMMIT
+            return []
+        self.phase = CommitPhase.PREPARING
+        return list(self.participants)
+
+    def record_vote(self, site: int, commit: bool) -> bool:
+        """Record one vote; returns True when all votes are in (at which
+        point :attr:`phase` reflects the global decision)."""
+        if self.phase is not CommitPhase.PREPARING:
+            raise ValueError(f"vote in phase {self.phase}")
+        if site not in self.participants:
+            raise ValueError(f"vote from non-participant site {site}")
+        self._votes[site] = commit
+        if len(self._votes) < len(self.participants):
+            return False
+        self.phase = (CommitPhase.DECIDED_COMMIT
+                      if all(self._votes.values())
+                      else CommitPhase.DECIDED_ABORT)
+        return True
+
+    @property
+    def decision_commit(self) -> bool:
+        if self.phase not in (CommitPhase.DECIDED_COMMIT,
+                              CommitPhase.DECIDED_ABORT,
+                              CommitPhase.DONE):
+            raise ValueError(f"no decision yet (phase {self.phase})")
+        return self.phase is not CommitPhase.DECIDED_ABORT
+
+    def record_ack(self, site: int) -> bool:
+        """Record a Decide acknowledgement; True when all acks are in."""
+        if self.phase not in (CommitPhase.DECIDED_COMMIT,
+                              CommitPhase.DECIDED_ABORT):
+            raise ValueError(f"ack in phase {self.phase}")
+        if site not in self.participants:
+            raise ValueError(f"ack from non-participant site {site}")
+        self._acks.add(site)
+        if len(self._acks) == len(self.participants):
+            self.phase = CommitPhase.DONE
+            return True
+        return False
+
+    def abort_now(self) -> None:
+        """Coordinator-side unilateral abort (deadline expiry before the
+        decision): only legal before a commit decision was reached."""
+        if self.phase in (CommitPhase.DECIDED_COMMIT, CommitPhase.DONE):
+            raise ValueError("cannot abort after deciding commit")
+        self.phase = CommitPhase.DECIDED_ABORT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TwoPhaseCommit(tid={self.txn_tid}, "
+                f"phase={self.phase.value}, votes={len(self._votes)}/"
+                f"{len(self.participants)})")

@@ -1,0 +1,107 @@
+"""Analytic bounds: formulas and their agreement with simulation."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (ceiling_load_estimate,
+                                 ceiling_pipeline_capacity,
+                                 cpu_bound_capacity,
+                                 cpu_utilisation_estimate,
+                                 expected_deadlocks,
+                                 fitted_power_law_exponent,
+                                 gray_deadlock_probability,
+                                 offered_object_rate)
+from repro.txn import CostModel
+
+
+def test_capacities():
+    costs = CostModel(cpu_per_object=1.0, io_per_object=2.0)
+    assert ceiling_pipeline_capacity(costs) == pytest.approx(1 / 3)
+    assert cpu_bound_capacity(costs) == 1.0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ceiling_pipeline_capacity(CostModel(cpu_per_object=0.0,
+                                            io_per_object=0.0))
+    with pytest.raises(ValueError):
+        cpu_bound_capacity(CostModel(cpu_per_object=0.0))
+
+
+def test_offered_rate_and_loads():
+    costs = CostModel(cpu_per_object=1.0, io_per_object=2.0)
+    assert offered_object_rate(10.0, 5) == 0.5
+    assert cpu_utilisation_estimate(10.0, 5, costs) == 0.5
+    assert ceiling_load_estimate(10.0, 5, costs) == pytest.approx(1.5)
+
+
+def test_gray_probability_scales_as_fourth_power():
+    small = gray_deadlock_probability(2, 200, 2.0)
+    double = gray_deadlock_probability(4, 200, 2.0)
+    assert double / small == pytest.approx(16.0)
+
+
+def test_gray_probability_clamped():
+    assert gray_deadlock_probability(100, 10, 10.0) == 1.0
+
+
+def test_expected_deadlocks_linear_in_n():
+    one = expected_deadlocks(100, 8, 200, 2.0)
+    two = expected_deadlocks(200, 8, 200, 2.0)
+    assert two == pytest.approx(2 * one)
+
+
+def test_power_law_fit_recovers_exponent():
+    xs = [2, 4, 8, 16]
+    ys = [x ** 4 * 3.7 for x in xs]
+    assert fitted_power_law_exponent(xs, ys) == pytest.approx(4.0)
+
+
+def test_power_law_fit_drops_nonpositive_points():
+    assert fitted_power_law_exponent([1, 2, 4], [0.0, 8.0, 64.0]) == \
+        pytest.approx(3.0)
+
+
+def test_power_law_fit_validation():
+    with pytest.raises(ValueError):
+        fitted_power_law_exponent([1], [1])
+    with pytest.raises(ValueError):
+        fitted_power_law_exponent([2, 2], [1, 2])
+
+
+# ----------------------------------------------------------------------
+# agreement with simulation
+# ----------------------------------------------------------------------
+def test_ceiling_throughput_never_exceeds_pipeline_capacity():
+    from repro.bench.figures import single_site_config
+    from repro.core.experiment import run_single_site
+
+    for size in (8, 14, 20):
+        config = single_site_config("C", size, n_transactions=100)
+        row = run_single_site(config)
+        capacity = ceiling_pipeline_capacity(config.costs)
+        assert row["throughput"] <= capacity * 1.05  # 5% edge margin
+
+
+def test_measured_deadlocks_follow_a_steep_power_law():
+    """Gray's law says ~size^4; measured counts (which saturate as
+    transactions start missing deadlines before deadlocking) should
+    still fit a clearly superlinear power law."""
+    import dataclasses
+
+    from repro.bench.figures import single_site_config
+    from repro.core.experiment import run_single_site
+
+    sizes = (6, 9, 12, 15)
+    counts = []
+    for size in sizes:
+        total = 0.0
+        for seed in (1, 2, 3):
+            config = dataclasses.replace(
+                single_site_config("L", size, n_transactions=150),
+                seed=seed)
+            total += run_single_site(config)["cc_deadlocks"]
+        counts.append(total / 3)
+    exponent = fitted_power_law_exponent(sizes, counts)
+    assert exponent > 2.0, (sizes, counts, exponent)

@@ -1,0 +1,68 @@
+"""Smoke tests for the bench sweep module (tiny configurations).
+
+The full-resolution sweeps live in benchmarks/; these verify the sweep
+plumbing — series structure, formatting, config correctness — at the
+smallest sizes that still exercise the code paths.
+"""
+
+import pytest
+
+from repro.bench import (distributed_config, format_fig2, format_fig4,
+                         format_fig5, run_fig2_fig3, run_fig4, run_fig5,
+                         single_site_config)
+from repro.bench.figures import _fig5_config
+
+
+def test_single_site_config_is_valid():
+    for protocol in ("C", "P", "L"):
+        config = single_site_config(protocol, 8)
+        config.validate()
+        assert config.protocol == protocol
+        assert config.workload.transaction_size == 8
+
+
+def test_distributed_config_is_valid():
+    for mode in ("local", "global"):
+        config = distributed_config(mode, 2.0, 0.5)
+        config.validate()
+        assert config.mode == mode
+        assert config.costs.io_per_object == 0.0  # memory-resident
+
+
+def test_fig5_config_differs_only_in_load_and_slack():
+    base = distributed_config("local", 2.0, 0.5)
+    fig5 = _fig5_config("local", 2.0, 0.5, 150)
+    assert fig5.workload.mean_interarrival > \
+        base.workload.mean_interarrival
+    assert fig5.timing.slack_factor > base.timing.slack_factor
+    assert fig5.mode == base.mode
+
+
+def test_run_fig2_fig3_series_structure():
+    series = run_fig2_fig3(protocols=("C", "L"), sizes=(2, 4),
+                           replications=1, n_transactions=15)
+    assert [row["size"] for row in series] == [2, 4]
+    for row in series:
+        for protocol in ("C", "L"):
+            assert f"throughput_{protocol}" in row
+            assert f"missed_{protocol}" in row
+            assert f"deadlocks_{protocol}" in row
+    table = format_fig2(series, protocols=("C", "L"))
+    assert "Figure 2" in table
+
+
+def test_run_fig4_series_structure():
+    series = run_fig4(mixes=(0.5,), delays=(0.0,), replications=1,
+                      n_transactions=15)
+    assert len(series) == 1
+    assert "ratio_d0" in series[0]
+    assert series[0]["ratio_d0"] > 0
+    table = format_fig4(series, delays=(0.0,))
+    assert "Figure 4" in table
+
+
+def test_run_fig5_series_structure():
+    series = run_fig5(delays=(0.0,), replications=1, n_transactions=15)
+    assert series[0]["delay"] == 0.0
+    assert series[0]["ratio"] >= 0.0
+    assert "Figure 5" in format_fig5(series)

@@ -1,0 +1,47 @@
+"""CLI: argument handling and a smoke run of a small command."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_parser_accepts_every_command():
+    parser = build_parser()
+    for command in list(COMMANDS) + ["all"]:
+        args = parser.parse_args([command])
+        assert args.command == command
+        assert args.replications == 5
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_replications_flag():
+    parser = build_parser()
+    args = parser.parse_args(["fig2", "--replications", "2"])
+    assert args.replications == 2
+
+
+def test_invalid_replications_returns_error_code(capsys):
+    code = main(["fig2", "--replications", "0"])
+    assert code == 2
+    assert "replications" in capsys.readouterr().err
+
+
+def test_a3_command_runs_and_prints_table(capsys):
+    # A3 is the cheapest sweep; run it end-to-end at 1 replication.
+    code = main(["a3", "--replications", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Ablation A3" in out
+    assert "db size" in out
+    assert "[a3:" in out
+
+
+def test_every_command_has_a_description():
+    for name, (runner, description) in COMMANDS.items():
+        assert callable(runner)
+        assert description

@@ -1,0 +1,85 @@
+"""Metric algebra: means, CIs, guarded ratios, run aggregation."""
+
+import pytest
+
+from repro.core.metrics import (aggregate_runs, confidence_interval,
+                                mean, missed_ratio, safe_ratio,
+                                sample_std, throughput_ratio)
+
+
+def test_mean_basic():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_mean_empty_rejected():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_sample_std_known_value():
+    assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == \
+        pytest.approx(2.138, abs=1e-3)
+
+
+def test_sample_std_degenerate_cases():
+    assert sample_std([]) == 0.0
+    assert sample_std([5.0]) == 0.0
+
+
+def test_confidence_interval_shrinks_with_n():
+    narrow = confidence_interval([1.0, 2.0] * 50)
+    wide = confidence_interval([1.0, 2.0])
+    assert narrow < wide
+
+
+def test_safe_ratio_normal():
+    assert safe_ratio(6.0, 3.0) == 2.0
+
+
+def test_safe_ratio_zero_denominator():
+    assert safe_ratio(5.0, 0.0) == float("inf")
+    assert safe_ratio(5.0, 0.0, cap=50.0) == 50.0
+    assert safe_ratio(0.0, 0.0) == 1.0
+
+
+def test_safe_ratio_cap_applies_to_finite_values():
+    assert safe_ratio(100.0, 1.0, cap=10.0) == 10.0
+
+
+def test_throughput_ratio_is_local_over_global():
+    assert throughput_ratio(3.0, 1.5) == 2.0
+
+
+def test_missed_ratio_is_global_over_local_with_cap():
+    assert missed_ratio(80.0, 5.0) == 16.0
+    assert missed_ratio(80.0, 0.0) == 100.0  # default cap
+
+
+def test_aggregate_runs_means_and_stds():
+    rows = [{"throughput": 2.0, "missed": 10.0},
+            {"throughput": 4.0, "missed": 20.0}]
+    aggregated = aggregate_runs(rows)
+    assert aggregated["throughput"] == 3.0
+    assert aggregated["missed"] == 15.0
+    assert aggregated["throughput_std"] == pytest.approx(
+        sample_std([2.0, 4.0]))
+    assert aggregated["runs"] == 2.0
+
+
+def test_aggregate_runs_skips_non_numeric_keys():
+    rows = [{"throughput": 2.0, "label": "a"},
+            {"throughput": 4.0, "label": "b"}]
+    aggregated = aggregate_runs(rows)
+    assert "label" not in aggregated
+    assert "throughput" in aggregated
+
+
+def test_aggregate_runs_skips_none_values():
+    rows = [{"mean_response_time": None}, {"mean_response_time": 3.0}]
+    aggregated = aggregate_runs(rows)
+    assert "mean_response_time" not in aggregated
+
+
+def test_aggregate_runs_empty_rejected():
+    with pytest.raises(ValueError):
+        aggregate_runs([])

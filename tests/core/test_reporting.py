@@ -1,0 +1,55 @@
+"""Reporting: table formatting."""
+
+import pytest
+
+from repro.core.reporting import (comparison_table, format_table,
+                                  series_table)
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["name", "value"],
+                        [["short", 1.0], ["a-much-longer-name", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("name")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_format_table_title():
+    text = format_table(["a"], [[1]], title="Figure 2")
+    assert text.splitlines()[0] == "Figure 2"
+
+
+def test_format_table_float_precision():
+    text = format_table(["v"], [[1.23456]], precision=2)
+    assert "1.23" in text
+    assert "1.235" not in text
+
+
+def test_format_table_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_renders_none_and_bool():
+    text = format_table(["a", "b"], [[None, True]])
+    assert "None" in text and "True" in text
+
+
+def test_series_table_maps_columns():
+    series = [{"x": 2.0, "throughput": 0.5, "percent_missed": 10.0},
+              {"x": 4.0, "throughput": 0.4, "percent_missed": 30.0}]
+    text = series_table(series, "size",
+                        {"throughput": "objects/sec",
+                         "percent_missed": "% missed"})
+    assert "objects/sec" in text
+    assert "% missed" in text
+    assert "2.000" in text and "30.000" in text
+
+
+def test_comparison_table_keys_as_rows():
+    results = {"C": {"throughput": 0.3}, "L": {"throughput": 0.1}}
+    text = comparison_table(results, {"throughput": "thr"})
+    assert text.splitlines()[0].startswith("protocol")
+    assert any(line.startswith("C") for line in text.splitlines())
+    assert any(line.startswith("L") for line in text.splitlines())

@@ -1,0 +1,130 @@
+"""Lock table: compatibility, upgrades, release bookkeeping."""
+
+import pytest
+
+from repro.db import LockError, LockMode, LockTable, compatible
+
+
+def test_compatibility_matrix():
+    assert compatible(LockMode.READ, LockMode.READ)
+    assert not compatible(LockMode.READ, LockMode.WRITE)
+    assert not compatible(LockMode.WRITE, LockMode.READ)
+    assert not compatible(LockMode.WRITE, LockMode.WRITE)
+
+
+def test_grant_and_holders():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(1, "t2", LockMode.READ)
+    assert table.holders(1) == {"t1": LockMode.READ, "t2": LockMode.READ}
+    assert table.is_locked(1)
+    assert not table.write_locked(1)
+
+
+def test_write_lock_excludes_everyone():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.WRITE)
+    assert table.write_locked(1)
+    assert not table.can_grant(1, "t2", LockMode.READ)
+    assert not table.can_grant(1, "t2", LockMode.WRITE)
+    with pytest.raises(LockError):
+        table.grant(1, "t2", LockMode.READ)
+
+
+def test_read_locks_share():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    assert table.can_grant(1, "t2", LockMode.READ)
+    assert not table.can_grant(1, "t2", LockMode.WRITE)
+
+
+def test_regrant_same_mode_is_idempotent():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(1, "t1", LockMode.READ)
+    assert table.holders(1) == {"t1": LockMode.READ}
+    assert len(table) == 1
+
+
+def test_upgrade_sole_reader_to_writer():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    assert table.can_grant(1, "t1", LockMode.WRITE)
+    table.grant(1, "t1", LockMode.WRITE)
+    assert table.mode_held(1, "t1") is LockMode.WRITE
+
+
+def test_upgrade_blocked_by_other_reader():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(1, "t2", LockMode.READ)
+    assert not table.can_grant(1, "t1", LockMode.WRITE)
+
+
+def test_write_holder_may_request_anything():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.WRITE)
+    assert table.can_grant(1, "t1", LockMode.READ)
+    assert table.can_grant(1, "t1", LockMode.WRITE)
+    table.grant(1, "t1", LockMode.READ)  # does not downgrade
+    assert table.mode_held(1, "t1") is LockMode.WRITE
+
+
+def test_conflicting_holders_excludes_self():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(1, "t2", LockMode.READ)
+    assert table.conflicting_holders(1, "t1", LockMode.WRITE) == ["t2"]
+    assert table.conflicting_holders(1, "t3", LockMode.READ) == []
+
+
+def test_release_single_lock():
+    table = LockTable()
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(1, "t2", LockMode.READ)
+    table.release(1, "t1")
+    assert table.holders(1) == {"t2": LockMode.READ}
+    assert table.locks_of("t1") == {}
+
+
+def test_release_unheld_lock_raises():
+    table = LockTable()
+    with pytest.raises(LockError):
+        table.release(1, "t1")
+
+
+def test_release_all_returns_freed_oids():
+    table = LockTable()
+    table.grant(3, "t1", LockMode.WRITE)
+    table.grant(1, "t1", LockMode.READ)
+    table.grant(2, "t2", LockMode.READ)
+    assert table.release_all("t1") == [1, 3]
+    assert not table.is_locked(1)
+    assert not table.is_locked(3)
+    assert table.is_locked(2)
+    assert table.release_all("t1") == []  # idempotent
+
+
+def test_locks_of_and_owners():
+    table = LockTable()
+    table.grant(1, "a", LockMode.READ)
+    table.grant(2, "a", LockMode.WRITE)
+    table.grant(3, "b", LockMode.READ)
+    assert table.locks_of("a") == {1: LockMode.READ, 2: LockMode.WRITE}
+    assert table.owners() == {"a", "b"}
+
+
+def test_locked_oids_iterates_live_locks():
+    table = LockTable()
+    table.grant(1, "a", LockMode.READ)
+    table.grant(5, "b", LockMode.WRITE)
+    table.release_all("a")
+    assert sorted(table.locked_oids()) == [5]
+
+
+def test_len_counts_grants():
+    table = LockTable()
+    table.grant(1, "a", LockMode.READ)
+    table.grant(1, "b", LockMode.READ)
+    table.grant(2, "a", LockMode.WRITE)
+    assert len(table) == 3

@@ -1,0 +1,92 @@
+"""Clock monotonicity and Process state/priority mechanics."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.clock import Clock
+from repro.kernel.errors import InvalidProcessState
+from repro.kernel.process import Process, ProcessState
+
+
+def test_clock_starts_at_zero():
+    assert Clock().now == 0.0
+
+
+def test_clock_advances_forward():
+    clock = Clock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+    clock.advance_to(5.0)  # standing still is allowed
+    assert clock.now == 5.0
+
+
+def test_clock_rejects_backwards_motion():
+    clock = Clock(start=10.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance_to(9.0)
+
+
+def _gen():
+    yield  # pragma: no cover
+
+
+def test_effective_priority_defaults_to_base():
+    process = Process(_gen(), "p", priority=3.0)
+    assert process.effective_priority == 3.0
+
+
+def test_inheritance_raises_but_never_lowers():
+    process = Process(_gen(), "p", priority=3.0)
+    assert process.inherit(8.0) is True
+    assert process.effective_priority == 8.0
+    # Inheriting something below base keeps the base.
+    process.inherit(1.0)
+    assert process.effective_priority == 3.0
+
+
+def test_clearing_inheritance_restores_base():
+    process = Process(_gen(), "p", priority=3.0)
+    process.inherit(8.0)
+    assert process.inherit(None) is True
+    assert process.effective_priority == 3.0
+
+
+def test_inherit_reports_whether_effective_changed():
+    process = Process(_gen(), "p", priority=5.0)
+    assert process.inherit(2.0) is False   # below base: no change
+    assert process.inherit(9.0) is True
+    assert process.inherit(9.0) is False   # same value again
+
+
+def test_pids_are_unique_and_increasing():
+    first = Process(_gen(), "a")
+    second = Process(_gen(), "b")
+    assert second.pid > first.pid
+
+
+def test_check_not_terminated():
+    process = Process(_gen(), "p")
+    process.check_not_terminated()
+    process.state = ProcessState.TERMINATED
+    with pytest.raises(InvalidProcessState):
+        process.check_not_terminated()
+
+
+def test_kernel_set_inherited_priority_pokes_blocker():
+    kernel = Kernel()
+    pokes = []
+
+    class FakeBlocker:
+        def withdraw(self, process):
+            pass
+
+        def on_priority_change(self, process):
+            pokes.append(process.name)
+
+    process = Process(_gen(), "p", priority=1.0)
+    process.blocker = FakeBlocker()
+    kernel.set_inherited_priority(process, 9.0)
+    assert pokes == ["p"]
+    # No effective change -> no poke.
+    kernel.set_inherited_priority(process, 9.0)
+    assert pokes == ["p"]

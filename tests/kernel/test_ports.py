@@ -1,0 +1,211 @@
+"""Ports: async send, rendezvous, timeouts, closing."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Port, PortClosed, Timeout
+
+
+def test_send_buffers_when_no_receiver():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    port.send("m1")
+    port.send("m2")
+    assert port.queued == 2
+    got = []
+
+    def receiver():
+        got.append((yield port.receive()))
+        got.append((yield port.receive()))
+
+    kernel.spawn(receiver(), "r")
+    kernel.run()
+    assert got == ["m1", "m2"]
+    assert port.queued == 0
+
+
+def test_receive_blocks_until_send():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    got = []
+
+    def receiver():
+        message = yield port.receive()
+        got.append((kernel.now, message))
+
+    def sender():
+        yield Delay(4.0)
+        port.send("hello")
+
+    kernel.spawn(receiver(), "r")
+    kernel.spawn(sender(), "s")
+    kernel.run()
+    assert got == [(4.0, "hello")]
+
+
+def test_messages_delivered_in_fifo_order():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    got = []
+
+    def sender():
+        for index in range(5):
+            port.send(index)
+            yield Delay(1.0)
+
+    def receiver():
+        for __ in range(5):
+            got.append((yield port.receive()))
+
+    kernel.spawn(sender(), "s")
+    kernel.spawn(receiver(), "r")
+    kernel.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_rendezvous_send_blocks_until_received():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    events = []
+
+    def sender():
+        yield port.send_sync("data")
+        events.append(("sent", kernel.now))
+
+    def receiver():
+        yield Delay(6.0)
+        message = yield port.receive()
+        events.append(("received", message, kernel.now))
+
+    kernel.spawn(sender(), "s")
+    kernel.spawn(receiver(), "r")
+    kernel.run()
+    assert ("received", "data", 6.0) in events
+    assert ("sent", 6.0) in events
+
+
+def test_rendezvous_send_to_waiting_receiver_is_immediate():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    events = []
+
+    def receiver():
+        message = yield port.receive()
+        events.append(("received", message, kernel.now))
+
+    def sender():
+        yield Delay(2.0)
+        yield port.send_sync("x")
+        events.append(("sent", kernel.now))
+
+    kernel.spawn(receiver(), "r")
+    kernel.spawn(sender(), "s")
+    kernel.run()
+    assert ("received", "x", 2.0) in events
+    assert ("sent", 2.0) in events
+
+
+def test_receive_timeout_raises():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    outcome = []
+
+    def receiver():
+        try:
+            yield port.receive(timeout=5.0)
+        except Timeout:
+            outcome.append(kernel.now)
+
+    kernel.spawn(receiver(), "r")
+    kernel.run()
+    assert outcome == [5.0]
+    assert port.waiting_receivers == 0
+
+
+def test_message_before_timeout_cancels_timer():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    outcome = []
+
+    def receiver():
+        message = yield port.receive(timeout=50.0)
+        outcome.append(message)
+
+    def sender():
+        yield Delay(1.0)
+        port.send("in time")
+
+    kernel.spawn(receiver(), "r")
+    kernel.spawn(sender(), "s")
+    final = kernel.run()
+    assert outcome == ["in time"]
+    assert final == 1.0
+
+
+def test_try_receive_nonblocking():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    assert port.try_receive() == (False, None)
+    port.send("m")
+    assert port.try_receive() == (True, "m")
+
+
+def test_try_receive_unblocks_rendezvous_sender():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    events = []
+
+    def sender():
+        yield port.send_sync("payload")
+        events.append("sender-done")
+
+    def poller():
+        yield Delay(1.0)
+        ok, message = port.try_receive()
+        events.append((ok, message))
+
+    kernel.spawn(sender(), "s")
+    kernel.spawn(poller(), "p")
+    kernel.run()
+    assert (True, "payload") in events
+    assert "sender-done" in events
+
+
+def test_closed_port_rejects_send_and_receive():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    port.close()
+    with pytest.raises(PortClosed):
+        port.send("m")
+    failures = []
+
+    def receiver():
+        try:
+            yield port.receive()
+        except PortClosed:
+            failures.append("receive")
+
+    kernel.spawn(receiver(), "r")
+    kernel.run()
+    assert failures == ["receive"]
+
+
+def test_two_receivers_each_get_one_message():
+    kernel = Kernel()
+    port = Port(kernel, "p")
+    got = []
+
+    def receiver(name):
+        message = yield port.receive()
+        got.append((name, message))
+
+    kernel.spawn(receiver("r1"), "r1")
+    kernel.spawn(receiver("r2"), "r2")
+
+    def sender():
+        yield Delay(1.0)
+        port.send("a")
+        port.send("b")
+
+    kernel.spawn(sender(), "s")
+    kernel.run()
+    assert sorted(got) == [("r1", "a"), ("r2", "b")]

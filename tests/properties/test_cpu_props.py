@@ -1,0 +1,101 @@
+"""Property tests: the preemptive CPU conserves work.
+
+Whatever the interleaving of priorities, arrival times and preemptions,
+a preemptive-resume server must (a) finish every job, (b) never finish
+a job before its total service demand could have been met, and (c) keep
+total busy time equal to total demand (work conservation: the CPU is
+never idle while jobs are pending).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Delay, Kernel
+from repro.resources import CPU
+
+jobs = st.lists(
+    st.fixed_dictionaries({
+        "priority": st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False),
+        "burst": st.floats(min_value=0.01, max_value=5.0,
+                           allow_nan=False),
+        "start": st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False),
+    }),
+    min_size=1, max_size=10)
+
+
+def run_jobs(specs, policy):
+    kernel = Kernel()
+    cpu = CPU(kernel, policy=policy)
+    finishes = {}
+
+    def body(index, spec):
+        if spec["start"] > 0:
+            yield Delay(spec["start"])
+        yield cpu.use(spec["burst"])
+        finishes[index] = kernel.now
+
+    for index, spec in enumerate(specs):
+        kernel.spawn(body(index, spec), f"job-{index}",
+                     priority=spec["priority"])
+    kernel.run()
+    return kernel, cpu, finishes
+
+
+@settings(max_examples=60, deadline=None)
+@given(jobs, st.sampled_from(["priority", "fifo"]))
+def test_every_job_completes_exactly_once(specs, policy):
+    __, cpu, finishes = run_jobs(specs, policy)
+    assert len(finishes) == len(specs)
+    assert cpu.load == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(jobs, st.sampled_from(["priority", "fifo"]))
+def test_no_job_finishes_before_start_plus_burst(specs, policy):
+    __, ___, finishes = run_jobs(specs, policy)
+    for index, spec in enumerate(specs):
+        assert finishes[index] >= spec["start"] + spec["burst"] - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(jobs, st.sampled_from(["priority", "fifo"]))
+def test_work_conservation(specs, policy):
+    kernel, cpu, finishes = run_jobs(specs, policy)
+    total_demand = sum(spec["burst"] for spec in specs)
+    assert cpu.busy_time == _approx(total_demand)
+    # Makespan >= demand (single server), with equality when no idling
+    # could occur (all jobs released at 0).
+    assert kernel.now >= total_demand - 1e-9
+    if all(spec["start"] == 0.0 for spec in specs):
+        assert kernel.now == _approx(total_demand)
+
+
+@settings(max_examples=60, deadline=None)
+@given(jobs)
+def test_priority_policy_finishes_highest_priority_first_among_ready(
+        specs):
+    # If every job is released at t=0, the completion order under the
+    # priority policy is by descending priority (FIFO among equals).
+    released_together = [dict(spec, start=0.0) for spec in specs]
+    __, ___, finishes = run_jobs(released_together, "priority")
+    order = sorted(range(len(specs)), key=lambda index: finishes[index])
+    keys = [(-released_together[i]["priority"], i) for i in order]
+    assert keys == sorted(keys)
+
+
+class _approx:
+    def __init__(self, value, tol=1e-6):
+        self.value = value
+        self.tol = tol
+
+    def __eq__(self, other):
+        return abs(self.value - other) <= self.tol
+
+    __req__ = __eq__
+
+
+def test_approx_helper():
+    assert 1.0 == _approx(1.0 + 1e-9)
+    assert not (1.0 == _approx(2.0))

@@ -1,0 +1,53 @@
+"""Property tests: waits-for cycle detection vs networkx as oracle."""
+
+import networkx
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cc.deadlock import WaitsForGraph
+
+NODES = list(range(8))
+
+edges = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    max_size=40)
+
+
+@given(edges, st.sampled_from(NODES))
+def test_cycle_detection_matches_networkx(edge_list, start):
+    graph = WaitsForGraph()
+    reference = networkx.DiGraph()
+    reference.add_nodes_from(NODES)
+    for src, dst in edge_list:
+        graph.add_edges(src, [dst])
+        if src != dst:  # WaitsForGraph ignores self-edges
+            reference.add_edge(src, dst)
+
+    found = graph.find_cycle_through(start)
+    on_reference_cycle = any(
+        start in cycle for cycle in networkx.simple_cycles(reference))
+
+    if found is not None:
+        # Our cycle must be a genuine cycle through start.
+        assert start in found
+        for i, node in enumerate(found):
+            succ = found[(i + 1) % len(found)]
+            assert reference.has_edge(node, succ)
+        assert on_reference_cycle
+    else:
+        assert not on_reference_cycle
+
+
+@given(edges)
+def test_detection_is_deterministic(edge_list):
+    first = WaitsForGraph()
+    second = WaitsForGraph()
+    for src, dst in edge_list:
+        first.add_edges(src, [dst])
+        second.add_edges(src, [dst])
+    for start in NODES:
+        a = first.find_cycle_through(start)
+        b = second.find_cycle_through(start)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a == b

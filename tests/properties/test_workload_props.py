@@ -1,0 +1,68 @@
+"""Property tests: workload generator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.locks import LockMode
+from repro.db.replication import ReplicaCatalog
+from repro.kernel.rng import RngStreams
+from repro.txn import TransactionType, WorkloadGenerator
+
+params = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=2**31),
+    "db_size": st.integers(min_value=20, max_value=200),
+    "size": st.integers(min_value=1, max_value=10),
+    "read_only": st.floats(min_value=0.0, max_value=1.0),
+    "write_fraction": st.floats(min_value=0.05, max_value=1.0),
+    "n": st.integers(min_value=1, max_value=40),
+})
+
+
+def build(config, catalog=None, n_sites=1):
+    return WorkloadGenerator(
+        RngStreams(config["seed"]), config["db_size"],
+        mean_interarrival=3.0, transaction_size=config["size"],
+        n_transactions=config["n"],
+        read_only_fraction=config["read_only"],
+        write_fraction=config["write_fraction"],
+        n_sites=n_sites, catalog=catalog)
+
+
+@settings(max_examples=40)
+@given(params)
+def test_specs_well_formed(config):
+    specs = build(config).generate()
+    assert len(specs) == config["n"]
+    previous = 0.0
+    for spec in specs:
+        assert spec.arrival >= previous
+        previous = spec.arrival
+        oids = [oid for oid, __ in spec.operations]
+        assert len(oids) == len(set(oids))
+        assert all(0 <= oid < config["db_size"] for oid in oids)
+        assert 1 <= spec.size <= config["db_size"]
+        if spec.txn_type is TransactionType.READ_ONLY:
+            assert all(mode is LockMode.READ
+                       for __, mode in spec.operations)
+        else:
+            assert any(mode is LockMode.WRITE
+                       for __, mode in spec.operations)
+
+
+@settings(max_examples=40)
+@given(params)
+def test_determinism_per_seed(config):
+    assert build(config).generate() == build(config).generate()
+
+
+@settings(max_examples=30)
+@given(params, st.integers(min_value=2, max_value=4))
+def test_distributed_placement_invariants(config, n_sites):
+    catalog = ReplicaCatalog(config["db_size"], n_sites)
+    specs = build(config, catalog=catalog, n_sites=n_sites).generate()
+    for spec in specs:
+        assert 0 <= spec.site < n_sites
+        if spec.txn_type is TransactionType.UPDATE:
+            for oid, mode in spec.operations:
+                if mode is LockMode.WRITE:
+                    assert catalog.primary_site(oid) == spec.site

@@ -1,0 +1,96 @@
+"""2PC coordinator state machine."""
+
+import pytest
+
+from repro.txn import CommitPhase, TwoPhaseCommit
+
+
+def test_no_participants_commits_immediately():
+    tpc = TwoPhaseCommit(1, [])
+    assert tpc.start() == []
+    assert tpc.phase is CommitPhase.DECIDED_COMMIT
+    assert tpc.decision_commit
+
+
+def test_all_yes_votes_decide_commit():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    assert tpc.start() == [1, 2]
+    assert tpc.record_vote(1, True) is False
+    assert tpc.record_vote(2, True) is True
+    assert tpc.decision_commit
+
+
+def test_any_no_vote_decides_abort():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, False)
+    assert tpc.phase is CommitPhase.DECIDED_ABORT
+    assert not tpc.decision_commit
+
+
+def test_acks_complete_the_protocol():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, True)
+    assert tpc.record_ack(1) is False
+    assert tpc.record_ack(2) is True
+    assert tpc.phase is CommitPhase.DONE
+    assert tpc.decision_commit  # decision visible after DONE
+
+
+def test_participants_deduplicated_and_sorted():
+    tpc = TwoPhaseCommit(1, [3, 1, 3, 2])
+    assert tpc.start() == [1, 2, 3]
+
+
+def test_vote_from_non_participant_rejected():
+    tpc = TwoPhaseCommit(1, [1])
+    tpc.start()
+    with pytest.raises(ValueError, match="non-participant"):
+        tpc.record_vote(9, True)
+
+
+def test_vote_before_start_rejected():
+    tpc = TwoPhaseCommit(1, [1])
+    with pytest.raises(ValueError):
+        tpc.record_vote(1, True)
+
+
+def test_double_start_rejected():
+    tpc = TwoPhaseCommit(1, [1])
+    tpc.start()
+    with pytest.raises(ValueError):
+        tpc.start()
+
+
+def test_decision_unavailable_while_preparing():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    with pytest.raises(ValueError):
+        tpc.decision_commit
+
+
+def test_unilateral_abort_before_decision():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.abort_now()  # deadline expired mid-vote-collection
+    assert tpc.phase is CommitPhase.DECIDED_ABORT
+
+
+def test_unilateral_abort_after_commit_decision_rejected():
+    tpc = TwoPhaseCommit(1, [1])
+    tpc.start()
+    tpc.record_vote(1, True)
+    with pytest.raises(ValueError):
+        tpc.abort_now()
+
+
+def test_ack_wrong_phase_rejected():
+    tpc = TwoPhaseCommit(1, [1])
+    tpc.start()
+    with pytest.raises(ValueError):
+        tpc.record_ack(1)
