@@ -34,7 +34,8 @@ from .cc import (PROTOCOLS, PriorityCeiling, PriorityInheritance,
 from .core import (DistributedConfig, PerformanceMonitor,
                    SingleSiteConfig, SingleSiteSystem, TimingConfig,
                    WorkloadConfig, compare_protocols, replicate,
-                   run_distributed, run_single_site, sweep)
+                   replicate_many, run_distributed, run_single_site,
+                   sweep)
 from .dist import DistributedSystem
 from .kernel import Kernel
 from .txn import (CostModel, Transaction, TransactionSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "compare_protocols",
     "make_protocol",
     "replicate",
+    "replicate_many",
     "run_distributed",
     "run_single_site",
     "sweep",

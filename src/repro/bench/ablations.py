@@ -21,27 +21,46 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..core.builder import SingleSiteSystem
-from ..core.experiment import replicate
+from ..core.experiment import replicate_many
 from ..core.metrics import aggregate_runs
 from ..core.reporting import format_table
 from .figures import distributed_config, single_site_config
 
+# A1/A2/A3/A6/A7 expand into one repro.exec unit batch each (so
+# ``jobs``/``cache`` parallelise and memoise the whole ablation); A4
+# and A5 instrument the simulation in-process (sampler co-processes,
+# victim-policy pokes) and stay serial.
+
+
+def _a1_config(protocol: str, size: int,
+               read_fraction: float) -> object:
+    base = single_site_config(protocol, size)
+    return dataclasses.replace(
+        base,
+        workload=dataclasses.replace(
+            base.workload, read_only_fraction=read_fraction,
+            write_fraction=0.5))
+
 
 def run_rw_vs_exclusive(sizes: Sequence[int] = (2, 8, 14, 20),
                         read_fraction: float = 0.6,
-                        replications: int = 5) -> List[Dict]:
+                        replications: int = 5, *,
+                        jobs: Optional[int] = None,
+                        cache=None, progress=None) -> List[Dict]:
     """A1: protocol C vs Cx on a read-heavy mixed workload."""
+    points = [(size, protocol) for size in sizes
+              for protocol in ("C", "Cx")]
+    summaries = replicate_many(
+        [_a1_config(protocol, size, read_fraction)
+         for size, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for size in sizes:
         row: Dict = {"size": size}
         for protocol in ("C", "Cx"):
-            base = single_site_config(protocol, size)
-            config = dataclasses.replace(
-                base,
-                workload=dataclasses.replace(
-                    base.workload, read_only_fraction=read_fraction,
-                    write_fraction=0.5))
-            aggregated = replicate(config, replications=replications)
+            aggregated = by_point[(size, protocol)]
             row[f"throughput_{protocol}"] = aggregated["throughput"]
             row[f"missed_{protocol}"] = aggregated["percent_missed"]
         series.append(row)
@@ -59,14 +78,23 @@ def format_rw_vs_exclusive(series: List[Dict]) -> str:
 
 
 def run_inheritance_vs_ceiling(sizes: Sequence[int] = (2, 8, 14, 20),
-                               replications: int = 5) -> List[Dict]:
+                               replications: int = 5, *,
+                               jobs: Optional[int] = None,
+                               cache=None, progress=None) -> List[Dict]:
     """A2: protocols P / PI / C across the size sweep."""
+    points = [(size, protocol) for size in sizes
+              for protocol in ("P", "PI", "C")]
+    summaries = replicate_many(
+        [single_site_config(protocol, size)
+         for size, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for size in sizes:
         row: Dict = {"size": size}
         for protocol in ("P", "PI", "C"):
-            aggregated = replicate(single_site_config(protocol, size),
-                                   replications=replications)
+            aggregated = by_point[(size, protocol)]
             row[f"missed_{protocol}"] = aggregated["percent_missed"]
             row[f"throughput_{protocol}"] = aggregated["throughput"]
         series.append(row)
@@ -86,16 +114,25 @@ def format_inheritance(series: List[Dict]) -> str:
 
 def run_dbsize_sweep(db_sizes: Sequence[int] = (100, 200, 400, 800),
                      size: int = 14,
-                     replications: int = 5) -> List[Dict]:
+                     replications: int = 5, *,
+                     jobs: Optional[int] = None,
+                     cache=None, progress=None) -> List[Dict]:
     """A3: conflict probability via database size (the experiment the
     paper omitted because it 'only confirms' the others)."""
+    points = [(db_size, protocol) for db_size in db_sizes
+              for protocol in ("C", "L")]
+    summaries = replicate_many(
+        [dataclasses.replace(single_site_config(protocol, size),
+                             db_size=db_size)
+         for db_size, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for db_size in db_sizes:
         row: Dict = {"db_size": db_size}
         for protocol in ("C", "L"):
-            base = single_site_config(protocol, size)
-            config = dataclasses.replace(base, db_size=db_size)
-            aggregated = replicate(config, replications=replications)
+            aggregated = by_point[(db_size, protocol)]
             row[f"missed_{protocol}"] = aggregated["percent_missed"]
             row[f"deadlocks_{protocol}"] = aggregated["cc_deadlocks"]
         series.append(row)
@@ -179,18 +216,28 @@ def format_temporal(series: List[Dict]) -> str:
 
 def run_snapshot_reads(mixes: Sequence[float] = (0.25, 0.5, 0.75),
                        comm_delay: float = 3.0,
-                       replications: int = 5) -> List[Dict]:
+                       replications: int = 5, *,
+                       jobs: Optional[int] = None,
+                       cache=None, progress=None) -> List[Dict]:
     """A6: §4's multiversion snapshot mechanism as a scheduling
     optimisation — read-only transactions served lock-free from the
     version store vs classic read locks, under the local ceiling."""
+    points = [(mix, snapshots) for mix in mixes
+              for snapshots in (False, True)]
+    summaries = replicate_many(
+        [dataclasses.replace(distributed_config("local", comm_delay,
+                                                mix),
+                             temporal_versions=True,
+                             snapshot_reads=snapshots)
+         for mix, snapshots in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for mix in mixes:
         row: Dict = {"mix": mix}
         for snapshots in (False, True):
-            base = distributed_config("local", comm_delay, mix)
-            config = dataclasses.replace(base, temporal_versions=True,
-                                         snapshot_reads=snapshots)
-            aggregated = replicate(config, replications=replications)
+            aggregated = by_point[(mix, snapshots)]
             label = "snapshot" if snapshots else "locking"
             row[f"missed_{label}"] = aggregated["percent_missed"]
             row[f"throughput_{label}"] = aggregated["throughput"]
@@ -214,7 +261,9 @@ def format_snapshot_reads(series: List[Dict]) -> str:
 def run_io_models(size: int = 11,
                   server_counts: Sequence[Optional[int]] = (None, 8, 2,
                                                             1),
-                  replications: int = 5) -> List[Dict]:
+                  replications: int = 5, *,
+                  jobs: Optional[int] = None,
+                  cache=None, progress=None) -> List[Dict]:
     """A7: sensitivity to the parallel-I/O assumption.
 
     The paper notes 2PL's small-transaction advantage relies on
@@ -223,14 +272,21 @@ def run_io_models(size: int = 11,
     concurrency and should close (or invert) the gap to the ceiling
     protocol, whose near-serial pipeline never needed it.
     """
+    points = [(servers, protocol) for servers in server_counts
+              for protocol in ("C", "L")]
+    summaries = replicate_many(
+        [dataclasses.replace(single_site_config(protocol, size),
+                             io_servers=servers)
+         for servers, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for servers in server_counts:
         row: Dict = {"io_servers": servers if servers is not None
                      else "inf"}
         for protocol in ("C", "L"):
-            base = single_site_config(protocol, size)
-            config = dataclasses.replace(base, io_servers=servers)
-            aggregated = replicate(config, replications=replications)
+            aggregated = by_point[(servers, protocol)]
             row[f"missed_{protocol}"] = aggregated["percent_missed"]
             row[f"throughput_{protocol}"] = aggregated["throughput"]
         series.append(row)

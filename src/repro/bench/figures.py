@@ -5,6 +5,12 @@ Each function runs the sweep behind one figure of Son & Chang (ICDCS
 ``format_*`` helpers render them as the text tables the benchmark
 harness prints and EXPERIMENTS.md records.
 
+Every sweep expands into one flat batch of run units handed to
+:mod:`repro.exec` in a single engine call, so ``jobs``/``cache``
+(or ``REPRO_JOBS``/``REPRO_CACHE_DIR``) parallelise and memoise the
+whole figure — not one sweep point at a time — while the merged series
+stays identical to a serial run.
+
 Calibration
 -----------
 The paper gives no parameter table, so the workloads are calibrated to
@@ -18,11 +24,11 @@ see EXPERIMENTS.md.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import (DistributedConfig, SingleSiteConfig,
                            TimingConfig, WorkloadConfig)
-from ..core.experiment import replicate
+from ..core.experiment import replicate_many
 from ..core.metrics import missed_ratio, throughput_ratio
 from ..core.reporting import format_table
 from ..txn.manager import CostModel
@@ -72,15 +78,23 @@ def distributed_config(mode: str, comm_delay: float,
 def run_fig2_fig3(protocols: Sequence[str] = ("C", "P", "L"),
                   sizes: Sequence[int] = FIG23_SIZES,
                   replications: int = 5,
-                  n_transactions: int = 200) -> List[Dict]:
+                  n_transactions: int = 200, *,
+                  jobs: Optional[int] = None, cache=None,
+                  progress=None) -> List[Dict]:
     """One row per size: throughput and %missed per protocol."""
+    points = [(size, protocol) for size in sizes
+              for protocol in protocols]
+    summaries = replicate_many(
+        [single_site_config(protocol, size, n_transactions)
+         for size, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for size in sizes:
         row: Dict = {"size": size}
         for protocol in protocols:
-            aggregated = replicate(
-                single_site_config(protocol, size, n_transactions),
-                replications=replications)
+            aggregated = by_point[(size, protocol)]
             row[f"throughput_{protocol}"] = aggregated["throughput"]
             row[f"missed_{protocol}"] = aggregated["percent_missed"]
             row[f"deadlocks_{protocol}"] = aggregated["cc_deadlocks"]
@@ -117,18 +131,23 @@ def format_fig3(series: List[Dict],
 def run_fig4(mixes: Sequence[float] = FIG46_MIXES,
              delays: Sequence[float] = FIG4_DELAYS,
              replications: int = 5,
-             n_transactions: int = 150) -> List[Dict]:
+             n_transactions: int = 150, *,
+             jobs: Optional[int] = None, cache=None,
+             progress=None) -> List[Dict]:
+    points = [(mix, delay, mode) for mix in mixes for delay in delays
+              for mode in ("local", "global")]
+    summaries = replicate_many(
+        [distributed_config(mode, delay, mix, n_transactions)
+         for mix, delay, mode in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for mix in mixes:
         row: Dict = {"mix": mix}
         for delay in delays:
-            local = replicate(
-                distributed_config("local", delay, mix, n_transactions),
-                replications=replications)
-            global_ = replicate(
-                distributed_config("global", delay, mix,
-                                   n_transactions),
-                replications=replications)
+            local = by_point[(mix, delay, "local")]
+            global_ = by_point[(mix, delay, "global")]
             row[f"ratio_d{delay:g}"] = throughput_ratio(
                 local["throughput"], global_["throughput"])
             row[f"local_d{delay:g}"] = local["throughput"]
@@ -153,15 +172,21 @@ def format_fig4(series: List[Dict],
 # ----------------------------------------------------------------------
 def run_fig5(delays: Sequence[float] = FIG5_DELAYS,
              mix: float = 0.5, replications: int = 5,
-             n_transactions: int = 150) -> List[Dict]:
+             n_transactions: int = 150, *,
+             jobs: Optional[int] = None, cache=None,
+             progress=None) -> List[Dict]:
+    points = [(delay, mode) for delay in delays
+              for mode in ("local", "global")]
+    summaries = replicate_many(
+        [_fig5_config(mode, delay, mix, n_transactions)
+         for delay, mode in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for delay in delays:
-        local = replicate(
-            _fig5_config("local", delay, mix, n_transactions),
-            replications=replications)
-        global_ = replicate(
-            _fig5_config("global", delay, mix, n_transactions),
-            replications=replications)
+        local = by_point[(delay, "local")]
+        global_ = by_point[(delay, "global")]
         series.append({
             "delay": delay,
             "local_missed": local["percent_missed"],
@@ -201,17 +226,24 @@ def format_fig5(series: List[Dict]) -> str:
 def run_fig6(mixes: Sequence[float] = FIG46_MIXES,
              delays: Sequence[float] = FIG6_DELAYS,
              replications: int = 5,
-             n_transactions: int = 150) -> List[Dict]:
+             n_transactions: int = 150, *,
+             jobs: Optional[int] = None, cache=None,
+             progress=None) -> List[Dict]:
+    points = [(mix, delay, mode) for mix in mixes for delay in delays
+              for mode in ("local", "global")]
+    summaries = replicate_many(
+        [distributed_config(mode, delay, mix, n_transactions)
+         for mix, delay, mode in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
     series = []
     for mix in mixes:
         row: Dict = {"mix": mix}
         for delay in delays:
             for mode in ("local", "global"):
-                aggregated = replicate(
-                    distributed_config(mode, delay, mix,
-                                       n_transactions),
-                    replications=replications)
-                row[f"{mode}_d{delay:g}"] = aggregated["percent_missed"]
+                row[f"{mode}_d{delay:g}"] = by_point[
+                    (mix, delay, mode)]["percent_missed"]
         series.append(row)
     return series
 

@@ -1,17 +1,23 @@
 """Command-line interface: regenerate any figure or ablation.
 
-    python -m repro fig2 --replications 5
-    python -m repro fig5
-    python -m repro a1
+    python -m repro fig2 --replications 5 --jobs 4
+    python -m repro fig5 --no-cache
+    python -m repro a1 --cache-dir /tmp/repro-cache
     python -m repro all --replications 3
 
 Each command runs the corresponding sweep from :mod:`repro.bench` and
-prints the text table the benchmark harness would print.
+prints the text table the benchmark harness would print.  Sweeps
+execute on the :mod:`repro.exec` engine: ``--jobs`` (or ``REPRO_JOBS``)
+fans the seeded run units out to a process pool, and the on-disk result
+cache — enabled by default under ``~/.cache/repro`` — means re-running
+a figure only computes missing points.  The per-command trailer
+reports how many units were computed vs served from cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -27,67 +33,93 @@ from .bench import (format_dbsize, format_deadlock_policies,
                     run_fig5, run_fig6, run_inheritance_vs_ceiling,
                     run_rw_vs_exclusive, run_snapshot_reads,
                     run_temporal_staleness)
+from .exec import (ResultCache, TextProgress, default_cache_dir,
+                   resolve_jobs, session_counters)
 
 
-def _fig2(replications: int) -> str:
-    return format_fig2(run_fig2_fig3(replications=replications))
+@dataclasses.dataclass(frozen=True)
+class ExecOptions:
+    """Engine knobs threaded from the command line into the sweeps."""
+
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    progress: Optional[TextProgress] = None
+
+    def kwargs(self) -> dict:
+        return {"jobs": self.jobs, "cache": self.cache,
+                "progress": self.progress}
 
 
-def _fig3(replications: int) -> str:
-    return format_fig3(run_fig2_fig3(replications=replications))
+def _fig2(replications: int, opts: ExecOptions) -> str:
+    return format_fig2(run_fig2_fig3(replications=replications,
+                                     **opts.kwargs()))
 
 
-def _fig23(replications: int) -> str:
-    series = run_fig2_fig3(replications=replications)
+def _fig3(replications: int, opts: ExecOptions) -> str:
+    return format_fig3(run_fig2_fig3(replications=replications,
+                                     **opts.kwargs()))
+
+
+def _fig23(replications: int, opts: ExecOptions) -> str:
+    series = run_fig2_fig3(replications=replications, **opts.kwargs())
     return format_fig2(series) + "\n\n" + format_fig3(series)
 
 
-def _fig4(replications: int) -> str:
-    return format_fig4(run_fig4(replications=replications))
+def _fig4(replications: int, opts: ExecOptions) -> str:
+    return format_fig4(run_fig4(replications=replications,
+                                **opts.kwargs()))
 
 
-def _fig5(replications: int) -> str:
-    return format_fig5(run_fig5(replications=replications))
+def _fig5(replications: int, opts: ExecOptions) -> str:
+    return format_fig5(run_fig5(replications=replications,
+                                **opts.kwargs()))
 
 
-def _fig6(replications: int) -> str:
-    return format_fig6(run_fig6(replications=replications))
+def _fig6(replications: int, opts: ExecOptions) -> str:
+    return format_fig6(run_fig6(replications=replications,
+                                **opts.kwargs()))
 
 
-def _a1(replications: int) -> str:
+def _a1(replications: int, opts: ExecOptions) -> str:
     return format_rw_vs_exclusive(
-        run_rw_vs_exclusive(replications=replications))
+        run_rw_vs_exclusive(replications=replications, **opts.kwargs()))
 
 
-def _a2(replications: int) -> str:
+def _a2(replications: int, opts: ExecOptions) -> str:
     return format_inheritance(
-        run_inheritance_vs_ceiling(replications=replications))
+        run_inheritance_vs_ceiling(replications=replications,
+                                   **opts.kwargs()))
 
 
-def _a3(replications: int) -> str:
-    return format_dbsize(run_dbsize_sweep(replications=replications))
+def _a3(replications: int, opts: ExecOptions) -> str:
+    return format_dbsize(run_dbsize_sweep(replications=replications,
+                                          **opts.kwargs()))
 
 
-def _a4(replications: int) -> str:
+def _a4(replications: int, opts: ExecOptions) -> str:
+    # A4 instruments the simulation with an in-process sampler and
+    # cannot fan out; engine knobs are intentionally not passed.
     return format_temporal(
         run_temporal_staleness(replications=max(1, replications // 2)))
 
 
-def _a6(replications: int) -> str:
+def _a6(replications: int, opts: ExecOptions) -> str:
     return format_snapshot_reads(
-        run_snapshot_reads(replications=replications))
+        run_snapshot_reads(replications=replications, **opts.kwargs()))
 
 
-def _a7(replications: int) -> str:
-    return format_io_models(run_io_models(replications=replications))
+def _a7(replications: int, opts: ExecOptions) -> str:
+    return format_io_models(run_io_models(replications=replications,
+                                          **opts.kwargs()))
 
 
-def _a5(replications: int) -> str:
+def _a5(replications: int, opts: ExecOptions) -> str:
+    # A5 pokes the victim policy onto a hand-built system; serial.
     return format_deadlock_policies(
         run_deadlock_policies(replications=replications))
 
 
-COMMANDS: Dict[str, Tuple[Callable[[int], str], str]] = {
+COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "fig2": (_fig2, "Figure 2 - throughput vs transaction size"),
     "fig3": (_fig3, "Figure 3 - %% deadline-missing vs size"),
     "fig23": (_fig23, "Figures 2+3 in one sweep"),
@@ -116,7 +148,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
                              "(paper used 10; default 5)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep's run "
+                             "units (default: REPRO_JOBS or 1; 1 runs "
+                             "serially in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live progress/ETA line even "
+                             "when stderr is not a TTY")
     return parser
+
+
+def _exec_options(args: argparse.Namespace) -> ExecOptions:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    progress = None
+    if args.progress or sys.stderr.isatty():
+        progress = TextProgress(sys.stderr)
+    return ExecOptions(jobs=args.jobs, cache=cache, progress=progress)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -124,6 +178,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    opts = _exec_options(args)
     names = list(COMMANDS) if args.command == "all" else [args.command]
     if args.command == "all":
         names.remove("fig2")   # fig23 covers both in one sweep
@@ -131,9 +189,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         runner, __ = COMMANDS[name]
         started = time.time()
-        print(runner(args.replications))
-        print(f"[{name}: {time.time() - started:.1f}s, "
-              f"{args.replications} replications]")
+        before = session_counters()
+        print(runner(args.replications, opts))
+        delta = {key: value - before[key]
+                 for key, value in session_counters().items()}
+        trailer = (f"[{name}: {time.time() - started:.1f}s, "
+                   f"{args.replications} replications")
+        if delta["units"]:
+            trailer += (f", jobs={resolve_jobs(args.jobs)}, "
+                        f"{delta['units']} units, "
+                        f"{delta['computed']} computed, "
+                        f"{delta['cache_hits']} cache hits")
+            if delta["retries"]:
+                trailer += f", {delta['retries']} retried"
+            if delta["failures"]:
+                trailer += f", {delta['failures']} FAILED"
+        print(trailer + "]")
         print()
     return 0
 

@@ -7,8 +7,9 @@ from .analysis import (ceiling_load_estimate, ceiling_pipeline_capacity,
 from .builder import SingleSiteSystem
 from .config import (DISTRIBUTED_MODES, DistributedConfig,
                      SingleSiteConfig, TimingConfig, WorkloadConfig)
-from .experiment import (compare_protocols, replicate, run_distributed,
-                         run_single_site, sweep)
+from .experiment import (compare_protocols, replicate, replicate_many,
+                         run_distributed, run_single_site, sweep,
+                         sweep_x)
 from .metrics import (aggregate_runs, confidence_interval, mean,
                       missed_ratio, safe_ratio, sample_std,
                       throughput_ratio)
@@ -45,11 +46,13 @@ __all__ = [
     "mean",
     "missed_ratio",
     "replicate",
+    "replicate_many",
     "run_distributed",
     "run_single_site",
     "safe_ratio",
     "sample_std",
     "series_table",
     "sweep",
+    "sweep_x",
     "throughput_ratio",
 ]

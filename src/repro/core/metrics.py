@@ -72,9 +72,12 @@ def missed_ratio(global_percent_missed: float,
 def aggregate_runs(rows: Iterable[Dict[str, float]]) -> Dict[str, float]:
     """Average a list of per-run summary dicts key-by-key.
 
-    Produces ``{key: mean}`` plus ``{key + "_std": std}`` for every
-    numeric key present in all rows; non-numeric or missing values are
-    skipped.  This is the "averaged over the 10 runs" step of §3.3.
+    Produces ``{key: mean}`` plus ``{key + "_std": std}`` and
+    ``{key + "_ci95": half-width of the 95% CI}`` for every numeric key
+    present in all rows; non-numeric or missing values are skipped.
+    The replication count is recorded under ``n`` (and the legacy
+    ``runs`` alias).  This is the "averaged over the 10 runs" step of
+    §3.3.
     """
     rows = list(rows)
     if not rows:
@@ -92,5 +95,7 @@ def aggregate_runs(rows: Iterable[Dict[str, float]]) -> Dict[str, float]:
             if values:
                 result[key] = mean(values)
                 result[key + "_std"] = sample_std(values)
+                result[key + "_ci95"] = confidence_interval(values)
+    result["n"] = len(rows)
     result["runs"] = float(len(rows))
     return result

@@ -1,0 +1,125 @@
+"""On-disk result cache: fingerprint -> summary row.
+
+Each cached unit is one small JSON file under
+``<cache-dir>/<fp[:2]>/<fp>.json`` (the two-level fan-out keeps
+directories small on big sweeps).  Writes are atomic
+(temp file + ``os.replace``) so a crashed run never leaves a torn
+entry, and reads tolerate corrupt or foreign files by treating them as
+misses.  The cache is safe for concurrent writers on one machine: the
+worst case is two processes computing the same unit and one replace
+winning, which is harmless because entries are deterministic.
+
+Resolution order for "should this run use a cache, and where":
+
+1. explicit argument (a :class:`ResultCache`, a directory path, or
+   ``True`` for the default directory; ``False``/``None`` means off);
+2. ``REPRO_NO_CACHE=1`` forces off;
+3. ``REPRO_CACHE_DIR=<dir>`` turns the cache on at ``<dir>``;
+4. otherwise off (library calls never touch the filesystem unasked —
+   the CLI opts in explicitly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional, Union
+
+from .fingerprint import config_fingerprint, config_payload
+
+CacheSpec = Union["ResultCache", str, os.PathLike, bool, None]
+
+
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro")
+
+
+class ResultCache:
+    """Content-addressed store of per-unit summary rows."""
+
+    def __init__(self, directory: Union[str, os.PathLike]):
+        self.directory = os.fspath(directory)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({self.directory!r}, hits={self.hits}, "
+                f"misses={self.misses}, writes={self.writes})")
+
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint[:2],
+                            fingerprint + ".json")
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached row, or None on miss / corrupt entry."""
+        try:
+            with open(self.path_for(fingerprint), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+            row = payload["row"]
+            if (payload.get("fingerprint") != fingerprint
+                    or not isinstance(row, dict)):
+                raise ValueError("foreign or torn cache entry")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, fingerprint: str, row: dict,
+            config: Optional[object] = None) -> None:
+        """Atomically store ``row`` under ``fingerprint``.
+
+        The originating config's canonical payload is stored alongside
+        the row so entries are self-describing (debuggable with `cat`).
+        Write errors (read-only cache dir, disk full) are swallowed:
+        caching is an optimisation, never a correctness requirement.
+        """
+        path = self.path_for(fingerprint)
+        payload = {"fingerprint": fingerprint, "row": row}
+        if config is not None:
+            payload["config"] = json.loads(config_payload(config))
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=os.path.dirname(path), suffix=".tmp",
+                delete=False, encoding="utf-8")
+            try:
+                json.dump(payload, handle)
+                handle.close()
+                os.replace(handle.name, path)
+            finally:
+                if os.path.exists(handle.name):  # replace failed
+                    os.unlink(handle.name)
+        except OSError:
+            return
+        self.writes += 1
+
+    def lookup(self, config: object) -> Optional[dict]:
+        """Fingerprint ``config`` and fetch its row in one step."""
+        return self.get(config_fingerprint(config))
+
+    def store(self, config: object, row: dict) -> None:
+        self.put(config_fingerprint(config), row, config=config)
+
+
+def resolve_cache(cache: CacheSpec = None) -> Optional[ResultCache]:
+    """Turn a cache spec (argument or environment) into a cache."""
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache(default_cache_dir())
+    if cache is False:
+        return None
+    if cache is not None:  # path-like
+        return ResultCache(cache)
+    if os.environ.get("REPRO_NO_CACHE", "") not in ("", "0"):
+        return None
+    directory = os.environ.get("REPRO_CACHE_DIR")
+    if directory:
+        return ResultCache(directory)
+    return None

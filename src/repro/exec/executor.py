@@ -1,0 +1,393 @@
+"""Serial and process-pool executors with fault tolerance.
+
+Both executors take a planned unit list and produce the merged row list
+**in unit order regardless of completion order**, so a parallel run is
+row-for-row comparable with a serial one.  ``jobs=1`` (the default)
+runs in-process — the exact call sequence the historical serial runner
+made, which keeps determinism tests byte-exact — while ``jobs>1`` fans
+units out to a ``concurrent.futures`` process pool.
+
+Fault tolerance: a unit whose attempt raises, crashes its worker
+(``BrokenProcessPool``), or exceeds the per-unit timeout is retried up
+to ``retries`` times with exponential backoff; on exhaustion it is
+recorded as a structured :class:`UnitFailure` and the rest of the sweep
+continues.  Because a crashed pool fails *every* in-flight future,
+blaming cannot be done inside the shared pool — so after a breakage the
+executor salvages finished rows, requeues the survivors unblamed, and
+drains the remainder in **quarantine**: one unit at a time, each in its
+own single-worker pool, where a crash or hang indicts exactly one unit.
+The crasher burns its own retry budget and its peers complete
+untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import os
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                TimeoutError as FutureTimeoutError,
+                                wait)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .fingerprint import config_fingerprint, describe_config
+from .units import RunUnit
+from .worker import invoke_unit
+
+#: Default retry budget per unit (attempts = retries + 1).
+DEFAULT_RETRIES = 2
+#: Default base backoff between attempts (seconds, doubles per retry).
+DEFAULT_BACKOFF = 0.05
+
+
+@dataclasses.dataclass
+class ExecutionStats:
+    """Counters the progress reporter and CLI summaries read."""
+
+    total: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    retries: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+    busy_time: float = 0.0
+    in_flight: int = 0
+    pool_restarts: int = 0
+
+    @property
+    def done(self) -> int:
+        return self.computed + self.cache_hits + self.failures
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of worker slots kept busy."""
+        if self.elapsed <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.elapsed * self.jobs))
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitFailure:
+    """One unit that exhausted its retries — the sweep went on."""
+
+    index: int
+    seed: int
+    config: str          # describe_config() label
+    attempts: int
+    error: str           # repr of the final exception
+    traceback: Optional[str] = None
+
+    def __str__(self) -> str:
+        return (f"unit #{self.index} ({self.config}) failed after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
+class ExecutionError(RuntimeError):
+    """Raised by strict callers when a run has structured failures."""
+
+    def __init__(self, failures: Sequence[UnitFailure]):
+        self.failures = list(failures)
+        preview = "; ".join(str(f) for f in self.failures[:3])
+        extra = (f" (+{len(self.failures) - 3} more)"
+                 if len(self.failures) > 3 else "")
+        super().__init__(f"{len(self.failures)} unit(s) failed: "
+                         f"{preview}{extra}")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(raw) if raw else 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return jobs
+
+
+def _resolve_int(value: Optional[int], env: str, default: int) -> int:
+    if value is not None:
+        return value
+    raw = os.environ.get(env, "").strip()
+    return int(raw) if raw else default
+
+
+def _resolve_float(value: Optional[float], env: str,
+                   default: float) -> float:
+    if value is not None:
+        return value
+    raw = os.environ.get(env, "").strip()
+    return float(raw) if raw else default
+
+
+def _format_exception(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))
+
+
+def _failure(unit: RunUnit, attempts: int,
+             exc: BaseException) -> UnitFailure:
+    return UnitFailure(index=unit.index, seed=unit.seed,
+                       config=describe_config(unit.config),
+                       attempts=attempts, error=repr(exc),
+                       traceback=_format_exception(exc))
+
+
+class _Run:
+    """Shared bookkeeping for one engine run (either executor)."""
+
+    def __init__(self, units: Sequence[RunUnit],
+                 cache: Optional[ResultCache], retries: int,
+                 backoff: float, timeout: Optional[float],
+                 inject: Optional[str], progress, stats: ExecutionStats):
+        self.units = list(units)
+        self.cache = cache
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.inject = (inject if inject is not None
+                       else os.environ.get("REPRO_EXEC_INJECT"))
+        self.progress = progress
+        self.stats = stats
+        self.rows: List[Optional[dict]] = [None] * len(self.units)
+        self.failures: List[UnitFailure] = []
+        self.fingerprints: List[Optional[str]] = [None] * len(self.units)
+
+    # -- cache --------------------------------------------------------
+    def sweep_cache(self) -> List[Tuple[int, int]]:
+        """Satisfy units from cache; return (pos, attempt=0) to run."""
+        to_run: List[Tuple[int, int]] = []
+        for pos, unit in enumerate(self.units):
+            if self.cache is not None:
+                fp = config_fingerprint(unit.config)
+                self.fingerprints[pos] = fp
+                row = self.cache.get(fp)
+                if row is not None:
+                    self.rows[pos] = row
+                    self.stats.cache_hits += 1
+                    self.progress.update(self.stats)
+                    continue
+            to_run.append((pos, 0))
+        return to_run
+
+    # -- settlement ---------------------------------------------------
+    def settle_success(self, pos: int, row: dict) -> None:
+        self.rows[pos] = row
+        self.stats.computed += 1
+        if self.cache is not None:
+            self.cache.put(self.fingerprints[pos], row,
+                           config=self.units[pos].config)
+        self.progress.update(self.stats)
+
+    def settle_failure(self, pos: int, attempts: int,
+                       exc: BaseException) -> None:
+        self.failures.append(_failure(self.units[pos], attempts, exc))
+        self.stats.failures += 1
+        self.progress.update(self.stats)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), doubling."""
+        return self.backoff * (2 ** max(0, attempt - 1))
+
+
+def run_serial(run: _Run, to_run: Sequence[Tuple[int, int]]) -> None:
+    """In-process executor: exact historical call sequence."""
+    for pos, attempt in to_run:
+        unit = run.units[pos]
+        while True:
+            started = time.monotonic()
+            run.stats.in_flight = 1
+            try:
+                _, row = invoke_unit(unit.index, unit.config, attempt,
+                                     run.inject)
+            except Exception as exc:
+                run.stats.busy_time += time.monotonic() - started
+                if attempt >= run.retries:
+                    run.settle_failure(pos, attempt + 1, exc)
+                    break
+                attempt += 1
+                run.stats.retries += 1
+                time.sleep(run.backoff_delay(attempt))
+            else:
+                run.stats.busy_time += time.monotonic() - started
+                run.settle_success(pos, row)
+                break
+        run.stats.in_flight = 0
+
+
+class _PoolInterrupted(Exception):
+    """Internal: tear the pool down and resubmit survivors."""
+
+    def __init__(self, overdue: Sequence[int] = ()):
+        super().__init__()
+        self.overdue = set(overdue)   # positions whose attempt failed
+
+
+def run_pool(run: _Run, to_run: Sequence[Tuple[int, int]],
+             jobs: int) -> None:
+    """Process-pool executor with retry, crash and timeout recovery."""
+    pending: deque = deque(to_run)
+    retry_heap: List[Tuple[float, int, int]] = []  # (ready, pos, att)
+    pool = ProcessPoolExecutor(max_workers=jobs,
+                               mp_context=_pool_context())
+    futures: Dict[object, Tuple[int, int, float]] = {}
+    try:
+        _pool_loop(run, pool, pending, retry_heap, futures, jobs)
+    except (BrokenProcessPool, _PoolInterrupted) as exc:
+        run.stats.pool_restarts += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+        _salvage(run, futures, pending, exc)
+        while retry_heap:
+            _, pos, attempt = heapq.heappop(retry_heap)
+            pending.append((pos, attempt))
+        _run_quarantine(run, pending)
+    else:
+        pool.shutdown()
+    run.stats.in_flight = 0
+
+
+def _pool_context():
+    """Prefer fork (workers inherit the parent's hash seed, keeping
+    any hash-order-sensitive iteration identical to serial runs);
+    platforms without fork use their default start method."""
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _pool_loop(run: _Run, pool, pending, retry_heap, futures,
+               jobs: int) -> None:
+    """Drive one pool until all units settle (or it breaks)."""
+    while pending or retry_heap or futures:
+        now = time.monotonic()
+        while retry_heap and retry_heap[0][0] <= now:
+            _, pos, attempt = heapq.heappop(retry_heap)
+            pending.append((pos, attempt))
+        while pending:
+            pos, attempt = pending.popleft()
+            unit = run.units[pos]
+            future = pool.submit(invoke_unit, unit.index, unit.config,
+                                 attempt, run.inject)
+            futures[future] = (pos, attempt, time.monotonic())
+        run.stats.in_flight = min(len(futures), jobs)
+        if not futures:   # only backoff sleeps remain
+            time.sleep(max(0.0, min(0.05, retry_heap[0][0] - now)))
+            continue
+        done, _ = wait(list(futures), timeout=0.1,
+                       return_when=FIRST_COMPLETED)
+        now = time.monotonic()
+        for future in done:
+            pos, attempt, started = futures.pop(future)
+            run.stats.busy_time += now - started
+            try:
+                _, row = future.result()
+            except BrokenProcessPool:
+                # Re-file under the broken pool's salvage path so the
+                # triggering unit is handled like its peers.
+                futures[future] = (pos, attempt, started)
+                raise
+            except Exception as exc:
+                _retry_or_fail(run, pending, retry_heap, pos, attempt,
+                               exc)
+            else:
+                run.settle_success(pos, row)
+        if run.timeout is not None:
+            overdue = [pos for future, (pos, _, started)
+                       in futures.items() if now - started > run.timeout]
+            if overdue:
+                raise _PoolInterrupted(overdue)
+
+
+def _retry_or_fail(run: _Run, pending, retry_heap, pos: int,
+                   attempt: int, exc: BaseException,
+                   immediate: bool = False) -> None:
+    if attempt >= run.retries:
+        run.settle_failure(pos, attempt + 1, exc)
+        return
+    run.stats.retries += 1
+    next_attempt = attempt + 1
+    if immediate:
+        pending.append((pos, next_attempt))
+    else:
+        heapq.heappush(retry_heap,
+                       (time.monotonic()
+                        + run.backoff_delay(next_attempt), pos,
+                        next_attempt))
+
+
+def _salvage(run: _Run, futures, pending, exc: BaseException) -> None:
+    """After a pool teardown: harvest finished rows, recycle the rest.
+
+    Timeout-overdue units are charged a failed attempt; every other
+    unfinished unit requeues **unblamed** at its current attempt —
+    inside a shared pool there is no way to tell the crasher from its
+    victims, and the quarantine drain that follows attributes exactly.
+    """
+    overdue = getattr(exc, "overdue", set())
+    for future, (pos, attempt, _) in futures.items():
+        if (future.done() and not future.cancelled()
+                and future.exception() is None):
+            _, row = future.result()
+            run.settle_success(pos, row)
+        elif pos in overdue:
+            _retry_or_fail(run, pending, None, pos, attempt,
+                           TimeoutError(f"unit exceeded "
+                                        f"{run.timeout}s"),
+                           immediate=True)
+        else:
+            pending.append((pos, attempt))     # unblamed survivor
+    futures.clear()
+
+
+def _run_quarantine(run: _Run, pending) -> None:
+    """Post-breakage drain: one unit per single-worker pool.
+
+    Isolation makes fault attribution exact — a crash or hang here
+    indicts precisely the unit that was running — at the cost of one
+    small pool spin-up per unit.  Entered only after a pool breakage,
+    so the common fast path never pays for it.
+    """
+    while pending:
+        pos, attempt = pending.popleft()
+        unit = run.units[pos]
+        while True:
+            pool = ProcessPoolExecutor(max_workers=1,
+                                       mp_context=_pool_context())
+            started = time.monotonic()
+            run.stats.in_flight = 1
+            future = pool.submit(invoke_unit, unit.index, unit.config,
+                                 attempt, run.inject)
+            try:
+                _, row = future.result(timeout=run.timeout)
+            except FutureTimeoutError:
+                run.stats.pool_restarts += 1
+                pool.shutdown(wait=False, cancel_futures=True)
+                exc: BaseException = TimeoutError(
+                    f"unit exceeded {run.timeout}s")
+            except BrokenProcessPool as broken:
+                run.stats.pool_restarts += 1
+                pool.shutdown(wait=False)
+                exc = broken
+            except Exception as error:
+                pool.shutdown()
+                exc = error
+            else:
+                run.stats.busy_time += time.monotonic() - started
+                pool.shutdown()
+                run.settle_success(pos, row)
+                break
+            run.stats.busy_time += time.monotonic() - started
+            if attempt >= run.retries:
+                run.settle_failure(pos, attempt + 1, exc)
+                break
+            attempt += 1
+            run.stats.retries += 1
+            time.sleep(run.backoff_delay(attempt))
+        run.stats.in_flight = 0

@@ -1,0 +1,87 @@
+"""Progress and ETA reporting for engine runs.
+
+The executor calls ``start`` once, ``update`` after every unit settles
+(computed, cache hit, or failed), and ``finish`` at the end.  The
+:class:`TextProgress` reporter renders a throttled single-line display
+
+    [exec] 37/105 units · 12 cached · 1 failed · 8.3 u/s · ETA 8s · 4/4 workers
+
+rewriting itself in place on TTYs; :class:`NullProgress` is the silent
+default so library calls never print.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class NullProgress:
+    """No-op reporter (the library default)."""
+
+    def start(self, stats) -> None:
+        pass
+
+    def update(self, stats) -> None:
+        pass
+
+    def finish(self, stats) -> None:
+        pass
+
+
+class TextProgress(NullProgress):
+    """Throttled one-line textual progress on ``stream``."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_interval: float = 0.5):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_emit = 0.0
+        self._emitted = False
+        self._started = 0.0
+
+    def start(self, stats) -> None:
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+        self._emitted = False
+
+    def update(self, stats) -> None:
+        now = time.monotonic()
+        if now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        self._emit(self._render(stats, now - self._started))
+
+    def finish(self, stats) -> None:
+        if not self._emitted:
+            return
+        self._emit(self._render(stats, time.monotonic()
+                                - self._started))
+        self.stream.write("\n")
+        self.stream.flush()
+
+    # -- internals ----------------------------------------------------
+    def _emit(self, line: str) -> None:
+        prefix = "\r" if self.stream.isatty() else ""
+        suffix = "" if self.stream.isatty() else "\n"
+        self.stream.write(prefix + line + suffix)
+        self.stream.flush()
+        self._emitted = True
+
+    def _render(self, stats, elapsed: float) -> str:
+        done = stats.done
+        parts = [f"[exec] {done}/{stats.total} units",
+                 f"{stats.cache_hits} cached"]
+        if stats.failures:
+            parts.append(f"{stats.failures} failed")
+        if stats.retries:
+            parts.append(f"{stats.retries} retried")
+        if elapsed > 0 and stats.computed:
+            rate = stats.computed / elapsed
+            parts.append(f"{rate:.1f} u/s")
+            remaining = stats.total - done
+            if remaining > 0 and rate > 0:
+                parts.append(f"ETA {remaining / rate:.0f}s")
+        parts.append(f"{stats.in_flight}/{stats.jobs} workers")
+        return " · ".join(parts)

@@ -1,0 +1,111 @@
+"""The function that runs inside pool workers.
+
+:func:`invoke_unit` is a plain module-level function (so it pickles by
+reference into ``concurrent.futures`` workers) that executes one seeded
+configuration and returns ``(index, summary_row)``.  It also hosts the
+**failure-injection hook** the fault-tolerance tests (and chaos-minded
+users) drive: a spec string, passed explicitly or via
+``REPRO_EXEC_INJECT``, makes selected units misbehave on selected
+attempts.
+
+Spec grammar — comma-separated clauses ``<seed>:<times>[:<mode>]``:
+
+- ``seed``  — the unit's config seed the clause applies to;
+- ``times`` — fail the first ``times`` attempts (attempts count from
+  0), or ``inf`` to fail every attempt;
+- ``mode``  — ``raise`` (default: raise :class:`InjectedFailure`),
+  ``crash`` (``os._exit``: simulates a segfaulting worker; pool mode
+  only), or ``sleep=<seconds>`` (hang: exercises the timeout path).
+
+Example: ``REPRO_EXEC_INJECT="2001:1,3001:inf:crash"`` makes the unit
+seeded 2001 fail once then succeed on retry, and the unit seeded 3001
+kill its worker process on every attempt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+
+class InjectedFailure(RuntimeError):
+    """Deterministic failure raised by the injection hook."""
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectClause:
+    times: float           # attempts to sabotage (inf = all)
+    mode: str              # "raise" | "crash" | "sleep"
+    sleep_seconds: float = 0.0
+
+
+def parse_inject_spec(spec: Optional[str]) -> Dict[int, InjectClause]:
+    """Parse a spec string into ``{seed: clause}``; '' / None -> {}."""
+    clauses: Dict[int, InjectClause] = {}
+    if not spec:
+        return clauses
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"bad inject clause {chunk!r}; expected "
+                             f"seed:times[:mode]")
+        seed = int(parts[0])
+        times = float("inf") if parts[1] == "inf" else int(parts[1])
+        mode, sleep_seconds = "raise", 0.0
+        if len(parts) == 3:
+            mode = parts[2]
+            if mode.startswith("sleep="):
+                sleep_seconds = float(mode.split("=", 1)[1])
+                mode = "sleep"
+            elif mode not in ("raise", "crash"):
+                raise ValueError(f"unknown inject mode {mode!r}")
+        clauses[seed] = InjectClause(times=times, mode=mode,
+                                     sleep_seconds=sleep_seconds)
+    return clauses
+
+
+def _apply_injection(seed: int, attempt: int,
+                     spec: Optional[str]) -> None:
+    clause = parse_inject_spec(spec).get(seed)
+    if clause is None or attempt >= clause.times:
+        return
+    if clause.mode == "crash":
+        os._exit(13)
+    if clause.mode == "sleep":
+        time.sleep(clause.sleep_seconds)
+        return
+    raise InjectedFailure(f"injected failure for seed {seed} "
+                          f"(attempt {attempt})")
+
+
+def execute_config(config) -> dict:
+    """Run one seeded configuration and return its summary row."""
+    # Imported lazily: repro.core.experiment itself builds on this
+    # package, and worker processes should not pay the import until
+    # they actually run a unit.
+    from ..core import experiment
+    from ..core.config import DistributedConfig, SingleSiteConfig
+
+    if isinstance(config, SingleSiteConfig):
+        return experiment.run_single_site(config)
+    if isinstance(config, DistributedConfig):
+        return experiment.run_distributed(config)
+    raise TypeError(f"unknown config type {type(config).__name__}")
+
+
+def invoke_unit(index: int, config, attempt: int = 0,
+                inject: Optional[str] = None) -> Tuple[int, dict]:
+    """Execute one run unit; the pool's submit target.
+
+    Returns ``(index, row)`` so completions identify themselves
+    regardless of completion order.
+    """
+    spec = inject if inject is not None else os.environ.get(
+        "REPRO_EXEC_INJECT")
+    _apply_injection(config.seed, attempt, spec)
+    return index, execute_config(config)

@@ -25,20 +25,59 @@ def test_replications_flag():
     assert args.replications == 2
 
 
+def test_exec_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig2", "--jobs", "4", "--no-cache",
+                              "--cache-dir", "/tmp/x", "--progress"])
+    assert args.jobs == 4
+    assert args.no_cache
+    assert args.cache_dir == "/tmp/x"
+    assert args.progress
+    defaults = parser.parse_args(["fig2"])
+    assert defaults.jobs is None and not defaults.no_cache
+
+
 def test_invalid_replications_returns_error_code(capsys):
     code = main(["fig2", "--replications", "0"])
     assert code == 2
     assert "replications" in capsys.readouterr().err
 
 
-def test_a3_command_runs_and_prints_table(capsys):
+def test_invalid_jobs_returns_error_code(capsys):
+    code = main(["fig2", "--jobs", "0"])
+    assert code == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_a3_command_runs_and_prints_table(capsys, tmp_path):
     # A3 is the cheapest sweep; run it end-to-end at 1 replication.
-    code = main(["a3", "--replications", "1"])
+    code = main(["a3", "--replications", "1",
+                 "--cache-dir", str(tmp_path)])
     assert code == 0
     out = capsys.readouterr().out
     assert "Ablation A3" in out
     assert "db size" in out
     assert "[a3:" in out
+    assert "cache hits" in out
+
+
+def test_warm_cache_run_recomputes_nothing(capsys, tmp_path):
+    main(["a3", "--replications", "1", "--cache-dir", str(tmp_path)])
+    capsys.readouterr()
+    code = main(["a3", "--replications", "1",
+                 "--cache-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 computed" in out
+    assert "8 cache hits" in out
+
+
+def test_no_cache_flag_skips_the_cache(capsys, tmp_path):
+    main(["a3", "--replications", "1", "--cache-dir", str(tmp_path),
+          "--no-cache"])
+    out = capsys.readouterr().out
+    assert "0 cache hits" in out
+    assert not list(tmp_path.iterdir())
 
 
 def test_every_command_has_a_description():

@@ -66,6 +66,22 @@ def test_aggregate_runs_means_and_stds():
     assert aggregated["runs"] == 2.0
 
 
+def test_aggregate_runs_confidence_intervals_and_n():
+    rows = [{"throughput": 2.0}, {"throughput": 4.0},
+            {"throughput": 6.0}]
+    aggregated = aggregate_runs(rows)
+    assert aggregated["n"] == 3
+    assert aggregated["throughput_ci95"] == pytest.approx(
+        confidence_interval([2.0, 4.0, 6.0]))
+
+
+def test_aggregate_runs_single_run_has_zero_width_ci():
+    aggregated = aggregate_runs([{"throughput": 2.0}])
+    assert aggregated["n"] == 1
+    assert aggregated["throughput_ci95"] == 0.0
+    assert aggregated["throughput_std"] == 0.0
+
+
 def test_aggregate_runs_skips_non_numeric_keys():
     rows = [{"throughput": 2.0, "label": "a"},
             {"throughput": 4.0, "label": "b"}]

@@ -1,0 +1,79 @@
+"""On-disk result cache: roundtrips, corruption tolerance, resolution."""
+
+import json
+import os
+
+from repro.exec import ResultCache, config_fingerprint, resolve_cache
+
+from .conftest import tiny_config
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = tiny_config()
+    fp = config_fingerprint(config)
+    assert cache.get(fp) is None
+    cache.put(fp, {"throughput": 1.5}, config=config)
+    assert cache.get(fp) == {"throughput": 1.5}
+    assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+
+
+def test_entries_are_self_describing(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = tiny_config()
+    fp = config_fingerprint(config)
+    cache.put(fp, {"throughput": 1.5}, config=config)
+    with open(cache.path_for(fp), encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["fingerprint"] == fp
+    assert payload["config"]["config"]["__type__"] == "SingleSiteConfig"
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = config_fingerprint(tiny_config())
+    path = cache.path_for(fp)
+    os.makedirs(os.path.dirname(path))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{torn")
+    assert cache.get(fp) is None
+
+
+def test_foreign_entry_is_a_miss(tmp_path):
+    """A file whose recorded fingerprint disagrees is not trusted."""
+    cache = ResultCache(tmp_path)
+    fp = config_fingerprint(tiny_config())
+    path = cache.path_for(fp)
+    os.makedirs(os.path.dirname(path))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"fingerprint": "f" * 64, "row": {"x": 1}}, handle)
+    assert cache.get(fp) is None
+
+
+def test_unwritable_target_is_tolerated(tmp_path):
+    """Cache writes are best-effort: a broken cache path never raises.
+
+    (A plain file where the cache directory should be defeats even
+    root, unlike permission bits.)
+    """
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    cache = ResultCache(blocker)
+    cache.put("ab" + "0" * 62, {"x": 1.0})   # must not raise
+    assert cache.writes == 0
+
+
+def test_resolve_cache_explicit_forms(tmp_path):
+    store = ResultCache(tmp_path)
+    assert resolve_cache(store) is store
+    assert resolve_cache(False) is None
+    assert resolve_cache(str(tmp_path)).directory == str(tmp_path)
+    assert resolve_cache(True) is not None
+
+
+def test_resolve_cache_environment(tmp_path, monkeypatch):
+    assert resolve_cache(None) is None    # library default: off
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert resolve_cache(None).directory == str(tmp_path)
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert resolve_cache(None) is None

@@ -1,0 +1,115 @@
+"""Experiment runner on the engine: serial/parallel equivalence.
+
+The acceptance bar for the execution engine: same config + seed give an
+identical summary dict across repeated runs and across ``jobs=1`` vs
+``jobs=4``; sweeps and protocol comparisons merge parallel results into
+exactly the serial series.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (WorkloadConfig, compare_protocols, replicate,
+                        replicate_many, sweep, sweep_x)
+from repro.exec import ExecutionError, ResultCache
+
+from .conftest import tiny_config
+
+
+def test_replicate_identical_across_repeated_runs():
+    first = replicate(tiny_config(), replications=3, jobs=1)
+    second = replicate(tiny_config(), replications=3, jobs=1)
+    assert first == second
+
+
+def test_replicate_identical_jobs1_vs_jobs4():
+    serial = replicate(tiny_config(), replications=4, jobs=1)
+    parallel = replicate(tiny_config(), replications=4, jobs=4)
+    assert serial == parallel
+
+
+def test_replicate_honors_repro_jobs_env(monkeypatch):
+    serial = replicate(tiny_config(), replications=2, jobs=1)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert replicate(tiny_config(), replications=2) == serial
+
+
+def test_replicate_aggregate_has_ci_and_n():
+    aggregated = replicate(tiny_config(), replications=3)
+    assert aggregated["n"] == 3
+    assert aggregated["runs"] == 3.0
+    assert "throughput_std" in aggregated
+    assert "throughput_ci95" in aggregated
+    assert aggregated["throughput_ci95"] >= 0.0
+
+
+def test_replicate_many_matches_individual_replicates():
+    configs = [tiny_config(), tiny_config(protocol="L")]
+    batched = replicate_many(configs, replications=2, jobs=2)
+    individual = [replicate(config, replications=2, jobs=1)
+                  for config in configs]
+    assert batched == individual
+
+
+def test_sweep_identical_jobs1_vs_jobs4():
+    def make(size):
+        return dataclasses.replace(
+            tiny_config(),
+            workload=WorkloadConfig(n_transactions=10,
+                                    mean_interarrival=10.0,
+                                    transaction_size=size))
+
+    serial = sweep(make, values=[2, 4], replications=2, jobs=1)
+    parallel = sweep(make, values=[2, 4], replications=2, jobs=4)
+    assert serial == parallel
+    assert [row["x"] for row in serial] == [2.0, 4.0]
+
+
+def test_sweep_preserves_non_numeric_values():
+    series = sweep(lambda value: tiny_config(), replications=1,
+                   values=["C", (1, 2), True, None, "2.5"])
+    assert [row["x"] for row in series] == ["C", (1, 2), True, None,
+                                            2.5]
+
+
+def test_sweep_x_coercion_rules():
+    assert sweep_x(3) == 3.0
+    assert sweep_x("7") == 7.0
+    assert sweep_x("edf") == "edf"
+    assert sweep_x((0, 1)) == (0, 1)
+    assert sweep_x(True) is True
+    assert sweep_x(None) is None
+
+
+def test_compare_protocols_identical_jobs1_vs_jobs4():
+    serial = compare_protocols(tiny_config(), ["C", "L"],
+                               replications=2, jobs=1)
+    parallel = compare_protocols(tiny_config(), ["C", "L"],
+                                 replications=2, jobs=4)
+    assert serial == parallel
+    assert set(serial) == {"C", "L"}
+
+
+def test_replicate_uses_cache_across_calls(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = replicate(tiny_config(), replications=3, jobs=1,
+                     cache=cache)
+    warm = replicate(tiny_config(), replications=3, jobs=2,
+                     cache=cache)
+    assert warm == cold
+    assert cache.hits == 3
+
+
+def test_replicate_surfaces_structured_failures(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_INJECT", "1001:inf")
+    monkeypatch.setenv("REPRO_EXEC_RETRIES", "0")
+    with pytest.raises(ExecutionError) as excinfo:
+        replicate(tiny_config(), replications=3, jobs=1)
+    assert len(excinfo.value.failures) == 1
+    assert excinfo.value.failures[0].seed == 1001
+
+
+def test_replicate_rejects_unknown_config_type():
+    with pytest.raises(TypeError):
+        replicate({"not": "a config"}, replications=1)
