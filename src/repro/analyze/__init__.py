@@ -1,0 +1,44 @@
+"""repro.analyze — correctness tooling for the prototyping environment.
+
+Two independent prongs (see DESIGN.md, "Correctness tooling"):
+
+- **static lint** (:mod:`repro.analyze.engine`,
+  :mod:`repro.analyze.rules`): an AST rule engine run as ``repro lint``
+  or ``python -m repro.analyze``, with determinism- and
+  protocol-hygiene rules specific to this codebase;
+- **runtime sanitizer** (:mod:`repro.analyze.sanitizer`,
+  :mod:`repro.analyze.invariants`): opt-in invariant checkers hooked
+  into the lock table, the concurrency-control protocols, transaction
+  managers and the replica catalog, re-deriving each protocol's
+  contract independently (double-entry bookkeeping for invariants).
+"""
+
+from .engine import Finding, LintEngine, render_json, render_text
+from .invariants import (CeilingChecker, ProtocolChecker,
+                         ReplicationChecker, TwoPhaseChecker, Violation)
+from .rules import DEFAULT_RULES, RULE_INDEX
+from .sanitizer import (ENV_VAR, Sanitizer, SanitizerViolation,
+                        current_sanitizer, install_sanitizer, sanitize,
+                        sanitizer_enabled, uninstall_sanitizer)
+
+__all__ = [
+    "CeilingChecker",
+    "DEFAULT_RULES",
+    "ENV_VAR",
+    "Finding",
+    "LintEngine",
+    "ProtocolChecker",
+    "RULE_INDEX",
+    "ReplicationChecker",
+    "Sanitizer",
+    "SanitizerViolation",
+    "TwoPhaseChecker",
+    "Violation",
+    "current_sanitizer",
+    "install_sanitizer",
+    "render_json",
+    "render_text",
+    "sanitize",
+    "sanitizer_enabled",
+    "uninstall_sanitizer",
+]

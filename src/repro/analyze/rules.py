@@ -1,0 +1,474 @@
+"""The lint rules this codebase actually needs.
+
+Every rule exists because the violation it detects has a concrete
+failure mode in this repository:
+
+- **RPL001 — wall-clock in simulation code.**  The simulation runs on
+  deterministic *virtual* time; reading the host clock (``time.time``,
+  ``datetime.now``) or sleeping on it makes results irreproducible and
+  silently poisons the exec-engine's fingerprint cache (two runs with
+  the same fingerprint would disagree).  The harness under
+  ``repro/exec`` is exempt — measuring real elapsed time for progress
+  and retry backoff is its job.
+- **RPL002 — global randomness.**  ``random.random()`` and friends draw
+  from the process-global RNG, whose state depends on import order and
+  other callers; ``os.urandom`` is entropy by definition.  Model code
+  must draw from the seeded per-stream RNGs of
+  ``repro.kernel.rng.RngStreams`` (``random.Random`` instances are
+  fine — the rule only bans the module-global API).
+- **RPL003 — syscall constructed but not yielded.**  Kernel blocking
+  operations (``port.receive()``, ``cpu.use(t)``, ``sem.wait()``,
+  ``cc.acquire(...)``, ``Delay(t)``) *construct* a SysCall that only
+  does something when yielded to the kernel.  A bare expression
+  statement discards the syscall — the classic forgotten-``yield`` bug,
+  which silently skips the block/delay.
+- **RPL004 — blocking syscall outside a kernel process.**  The same
+  constructors called (and discarded) in a non-generator function can
+  never be yielded at all: blocking kernel operations only make sense
+  inside process bodies.
+- **RPL005 — fingerprint-unsafe config field.**  The exec cache keys on
+  a canonical JSON encoding of config dataclasses
+  (:mod:`repro.exec.fingerprint`).  Fields typed as ``Any``,
+  ``Callable``, ``set``/``frozenset`` (iteration order varies with the
+  hash seed) or other unencodable objects fall back to ``repr`` — which
+  can embed memory addresses or unstable ordering, so equal configs
+  stop hashing equally and the cache silently fragments or, worse,
+  collides.
+- **RPL006 — mutable default argument.**  The standard Python trap: the
+  default is evaluated once and shared across calls.
+
+Each rule reports ``(code, line, col, message)`` findings through the
+engine; suppress a deliberate occurrence with ``# noqa: <code>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from .engine import Finding
+
+#: Wall-clock functions of the ``time`` module (monotonic and
+#: perf_counter are allowed: they measure elapsed host time for
+#: reporting and never leak into simulation state).
+_WALL_CLOCK_TIME = {"time", "time_ns", "sleep", "localtime", "gmtime",
+                    "ctime", "asctime", "strftime"}
+#: Wall-clock constructors on datetime classes.
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+#: Module-global randomness (anything on the random module except the
+#: Random class itself).
+_GLOBAL_RANDOM = {"random", "randint", "randrange", "choice", "choices",
+                  "shuffle", "sample", "uniform", "gauss", "seed",
+                  "getrandbits", "betavariate", "expovariate",
+                  "normalvariate", "vonmisesvariate", "paretovariate",
+                  "triangular"}
+#: Methods that construct blocking kernel syscalls.
+_SYSCALL_METHODS = {"receive", "wait", "use", "acquire"}
+#: Bare-name syscall constructors from repro.kernel.syscalls.
+_SYSCALL_NAMES = {"Delay", "Join", "Spawn", "Now"}
+#: Annotation heads that make a config field fingerprint-unsafe.
+_UNSAFE_ANNOTATIONS = {"Any", "Callable", "object", "set", "Set",
+                       "frozenset", "FrozenSet", "MutableSet",
+                       "AbstractSet", "Process", "Kernel"}
+#: Annotation heads that are always fingerprint-safe.
+_SAFE_ANNOTATIONS = {"int", "float", "str", "bool", "bytes", "None",
+                     "Optional", "List", "Tuple", "Dict", "Sequence",
+                     "Mapping", "list", "tuple", "dict", "Union",
+                     "Literal"}
+
+
+def _module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names the module is importable under (``import time as t``)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or module)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """{local name: original name} for ``from module import ...``."""
+    names = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for item in node.names:
+                names[item.asname or item.name] = item.name
+    return names
+
+
+def _is_path_part(path: str, part: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return f"/{part}/" in normalized or normalized.startswith(f"{part}/")
+
+
+class Rule:
+    """Base: applies everywhere unless a subclass narrows the scope."""
+
+    code = "RPL000"
+    name = "base"
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(self.code, path, node.lineno, node.col_offset,
+                       message)
+
+
+class WallClockRule(Rule):
+    """RPL001: wall-clock reads/sleeps in simulation code."""
+
+    code = "RPL001"
+    name = "wall-clock-in-sim"
+    #: Directory names exempt from this rule (the execution harness
+    #: legitimately measures host time).
+    exempt_parts = ("exec",)
+
+    def applies_to(self, path: str) -> bool:
+        return not any(_is_path_part(path, part)
+                       for part in self.exempt_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        time_aliases = _module_aliases(tree, "time")
+        datetime_aliases = _module_aliases(tree, "datetime")
+        datetime_classes = {
+            local for local, orig in _from_imports(tree, "datetime").items()
+            if orig in ("datetime", "date")}
+        for local, orig in _from_imports(tree, "time").items():
+            if orig in _WALL_CLOCK_TIME:
+                node = self._import_node(tree, "time")
+                yield self.finding(
+                    path, node,
+                    f"wall-clock import 'from time import {orig}' in "
+                    f"simulation code; use virtual time (kernel.now)")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if (isinstance(base, ast.Name)
+                    and base.id in time_aliases
+                    and func.attr in _WALL_CLOCK_TIME):
+                yield self.finding(
+                    path, node,
+                    f"wall-clock call time.{func.attr}() in simulation "
+                    f"code; use virtual time (kernel.now) or "
+                    f"time.perf_counter() for harness timing")
+            elif func.attr in _WALL_CLOCK_DATETIME and isinstance(
+                    base, (ast.Name, ast.Attribute)):
+                root = base
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (isinstance(root, ast.Name)
+                        and (root.id in datetime_aliases
+                             or root.id in datetime_classes)):
+                    yield self.finding(
+                        path, node,
+                        f"wall-clock call {ast.unparse(func)}() in "
+                        f"simulation code; use virtual time")
+
+    @staticmethod
+    def _import_node(tree: ast.Module, module: str) -> ast.AST:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                return node
+        return tree.body[0] if tree.body else tree
+
+
+class GlobalRandomRule(Rule):
+    """RPL002: process-global randomness instead of seeded streams."""
+
+    code = "RPL002"
+    name = "global-randomness"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        random_aliases = _module_aliases(tree, "random")
+        os_aliases = _module_aliases(tree, "os")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for item in node.names:
+                        if item.name != "Random":
+                            yield self.finding(
+                                path, node,
+                                f"'from random import {item.name}' uses "
+                                f"the global RNG; draw from a seeded "
+                                f"random.Random stream (kernel.rng)")
+                elif node.module == "secrets":
+                    yield self.finding(
+                        path, node,
+                        "'secrets' is entropy by definition; simulation "
+                        "code must be deterministic")
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if not isinstance(base, ast.Name):
+                continue
+            if (base.id in random_aliases
+                    and func.attr in _GLOBAL_RANDOM):
+                yield self.finding(
+                    path, node,
+                    f"global-RNG call random.{func.attr}() is "
+                    f"nondeterministic across runs; draw from a seeded "
+                    f"random.Random stream (kernel.rng)")
+            elif base.id in os_aliases and func.attr == "urandom":
+                yield self.finding(
+                    path, node,
+                    "os.urandom() is entropy; simulation code must be "
+                    "deterministic")
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Descendants whose nearest enclosing function is ``func`` (the
+    walk does not descend into nested function definitions)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # nested scope: its body belongs to it
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    """Does this function contain a yield of its own?"""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in _own_nodes(func))
+
+
+class DiscardedSyscallRule(Rule):
+    """RPL003/RPL004: a blocking syscall constructed then thrown away."""
+
+    code = "RPL003"
+    name = "discarded-syscall"
+    sibling_code = "RPL004"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            is_gen = _is_generator(func)
+            for stmt in _own_nodes(func):
+                if not isinstance(stmt, ast.Expr):
+                    continue
+                call = stmt.value
+                if not isinstance(call, ast.Call):
+                    continue
+                label = self._syscall_label(call)
+                if label is None:
+                    continue
+                if is_gen:
+                    yield Finding(
+                        self.code, path, stmt.lineno, stmt.col_offset,
+                        f"syscall {label} constructed but never yielded "
+                        f"(forgotten 'yield'? the block/delay silently "
+                        f"does not happen)")
+                else:
+                    yield Finding(
+                        self.sibling_code, path, stmt.lineno,
+                        stmt.col_offset,
+                        f"blocking syscall {label} in a non-generator "
+                        f"function; kernel blocking operations belong "
+                        f"in process bodies (generators)")
+
+    @staticmethod
+    def _syscall_label(call: ast.Call):
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SYSCALL_METHODS:
+                return f".{func.attr}(...)"
+        elif isinstance(func, ast.Name):
+            if func.id in _SYSCALL_NAMES:
+                return f"{func.id}(...)"
+        return None
+
+
+class BlockingSyscallRule(DiscardedSyscallRule):
+    """RPL004 registration stub: findings are produced by RPL003's
+    visitor (one pass classifies by generator-ness); this class exists
+    so ``--select RPL004`` and the rule listing know the code."""
+
+    code = "RPL004"
+    name = "syscall-outside-process"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        return iter(())
+
+
+class FingerprintSafetyRule(Rule):
+    """RPL005: config-dataclass fields the fingerprint cannot encode
+    stably."""
+
+    code = "RPL005"
+    name = "fingerprint-unsafe-config-field"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        local_dataclasses = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+            and self._is_dataclass(node)}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config"):
+                continue
+            if not self._is_dataclass(node):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                reason = self._unsafe_reason(stmt.annotation,
+                                             local_dataclasses)
+                if reason is not None:
+                    yield self.finding(
+                        path, stmt,
+                        f"field '{stmt.target.id}' of {node.name} is "
+                        f"{reason}; the exec-cache fingerprint falls "
+                        f"back to repr() for it, so equal configs may "
+                        f"stop hashing equally "
+                        f"(see repro.exec.fingerprint)")
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = None
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            if name == "dataclass":
+                return True
+        return False
+
+    def _unsafe_reason(self, annotation: ast.AST,
+                       local_dataclasses: Set[str]):
+        head = self._head_name(annotation)
+        if head is None:
+            return None  # unrecognizable: give the benefit of the doubt
+        if head in _UNSAFE_ANNOTATIONS:
+            return (f"typed '{head}' (unordered or unencodable)")
+        if head in _SAFE_ANNOTATIONS:
+            if isinstance(annotation, ast.Subscript):
+                for inner in self._subscript_args(annotation):
+                    reason = self._unsafe_reason(inner, local_dataclasses)
+                    if reason is not None:
+                        return reason
+            return None
+        if head in local_dataclasses or head.endswith(("Config",
+                                                       "Model")):
+            return None  # nested config dataclass: encoded recursively
+        return (f"typed '{head}', which the canonical encoder does not "
+                f"know (not a primitive, container, or config "
+                f"dataclass)")
+
+    @staticmethod
+    def _head_name(annotation: ast.AST):
+        node = annotation
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return "None"
+            if isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval")
+                except SyntaxError:
+                    return None
+                return FingerprintSafetyRule._head_name(parsed.body)
+        return None
+
+    @staticmethod
+    def _subscript_args(node: ast.Subscript) -> List[ast.AST]:
+        inner = node.slice
+        if isinstance(inner, ast.Tuple):
+            return list(inner.elts)
+        return [inner]
+
+
+class MutableDefaultRule(Rule):
+    """RPL006: mutable default argument values."""
+
+    code = "RPL006"
+    name = "mutable-default-argument"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict",
+                      "OrderedDict", "Counter", "deque", "bytearray"}
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(func.args.defaults) + [
+                default for default in func.args.kw_defaults
+                if default is not None]
+            for default in defaults:
+                label = self._mutable_label(default)
+                if label is not None:
+                    yield self.finding(
+                        path, default,
+                        f"mutable default argument {label} is evaluated "
+                        f"once and shared across calls; default to None "
+                        f"and create inside the function")
+
+    def _mutable_label(self, node: ast.AST):
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return "[...]"
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return "{...}"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "{...} (set)"
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in self._MUTABLE_CALLS:
+                return f"{name}(...)"
+        return None
+
+
+#: The shipped rule set, in code order.
+DEFAULT_RULES = (
+    WallClockRule(),
+    GlobalRandomRule(),
+    DiscardedSyscallRule(),
+    BlockingSyscallRule(),
+    FingerprintSafetyRule(),
+    MutableDefaultRule(),
+)
+
+#: code -> one-line description, for ``repro lint --list-rules``.
+RULE_INDEX = {
+    "RPL001": "wall-clock read or sleep in simulation code",
+    "RPL002": "process-global randomness (random.*, os.urandom)",
+    "RPL003": "kernel syscall constructed but never yielded",
+    "RPL004": "blocking kernel syscall outside a process body",
+    "RPL005": "fingerprint-unsafe config dataclass field",
+    "RPL006": "mutable default argument",
+}

@@ -1,0 +1,165 @@
+"""The protocol sanitizer: opt-in runtime invariant checking.
+
+Activation (any of):
+
+- environment — ``REPRO_SANITIZE=1`` (strict: the first violation
+  raises :class:`SanitizerViolation`) or ``REPRO_SANITIZE=record``
+  (collect violations, never raise);
+- CLI — ``python -m repro <figure> --sanitize``;
+- programmatic — ``with repro.analyze.sanitize() as s: ...`` or
+  ``install_sanitizer(Sanitizer(strict=False))``.
+
+When no sanitizer is active the instrumentation cost is one ``is not
+None`` check per hook site: protocol constructors read the active
+sanitizer once and store ``None``, so steady-state simulation code
+never takes a branch into checker logic.
+
+The sanitizer itself is a thin dispatcher: protocol instances attach a
+per-instance checker (:class:`~repro.analyze.invariants.CeilingChecker`
+for the ceiling protocols, ``TwoPhaseChecker`` for the 2PL family) and
+replica catalogs attach a :class:`ReplicationChecker`.  Checkers report
+:class:`~repro.analyze.invariants.Violation` records here; the
+sanitizer stores them (and raises in strict mode).  Selection is
+duck-typed on ``rw_ceiling`` so this module never imports the model
+packages — ``repro.cc.base`` imports *us* at module load.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, List, Optional
+
+from .invariants import (CeilingChecker, ProtocolChecker,
+                         ReplicationChecker, TwoPhaseChecker, Violation)
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerViolation(AssertionError):
+    """Raised in strict mode the moment an invariant breaks.  An
+    AssertionError subclass: a violation is always an implementation
+    bug, never a run condition."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class Sanitizer:
+    """Collects invariant violations from attached checkers."""
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    # attachment (called by instrumented constructors)
+    # ------------------------------------------------------------------
+    def attach_protocol(self, cc) -> ProtocolChecker:
+        """Checker for a concurrency-control instance, selected by
+        protocol family (duck-typed: ceiling protocols expose
+        ``rw_ceiling``)."""
+        if hasattr(cc, "rw_ceiling"):
+            return CeilingChecker(self, cc)
+        return TwoPhaseChecker(self, cc)
+
+    def attach_catalog(self, catalog) -> ReplicationChecker:
+        """Checker for a replica catalog's single-writer invariant."""
+        return ReplicationChecker(self, catalog)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        if self.strict:
+            raise SanitizerViolation(violation)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.violations.clear()
+
+    def summary(self) -> str:
+        if self.clean:
+            return "sanitizer: no violations"
+        counts = ", ".join(f"{code} x{count}"
+                           for code, count in sorted(self.by_code()
+                                                     .items()))
+        lines = [f"sanitizer: {len(self.violations)} violation(s) "
+                 f"({counts})"]
+        lines.extend(f"  {violation}"
+                     for violation in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Sanitizer] = None
+
+
+def _from_env() -> Optional[Sanitizer]:
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    if value in ("", "0", "false", "no", "off"):
+        return None
+    return Sanitizer(strict=value != "record")
+
+
+def current_sanitizer() -> Optional[Sanitizer]:
+    """The active sanitizer, if any.
+
+    An explicitly installed sanitizer wins; otherwise the environment
+    is consulted and — when it asks for one — a process-wide instance
+    is created on first use (so violations from every system built in
+    this process aggregate in one place).
+    """
+    global _ACTIVE
+    if _ACTIVE is None and ENV_VAR in os.environ:
+        _ACTIVE = _from_env()
+    return _ACTIVE
+
+
+def install_sanitizer(sanitizer: Sanitizer) -> Sanitizer:
+    """Make ``sanitizer`` the active one (overrides the environment)."""
+    global _ACTIVE
+    _ACTIVE = sanitizer
+    return sanitizer
+
+
+def uninstall_sanitizer() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def sanitizer_enabled() -> bool:
+    return current_sanitizer() is not None
+
+
+@contextlib.contextmanager
+def sanitize(strict: bool = True):
+    """Scoped activation: systems built inside the block are checked.
+
+        with sanitize(strict=False) as s:
+            SingleSiteSystem(config).run()
+        assert s.clean, s.summary()
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    sanitizer = Sanitizer(strict=strict)
+    _ACTIVE = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _ACTIVE = previous

@@ -6,8 +6,9 @@ logic lives here so examples and notebooks can reuse it.
 
 from .ablations import (format_dbsize, format_deadlock_policies,
                         format_inheritance, format_rw_vs_exclusive,
-                        format_io_models, format_snapshot_reads, format_temporal,
-                        run_dbsize_sweep, run_deadlock_policies, run_io_models,
+                        format_io_models, format_snapshot_reads,
+                        format_temporal, run_dbsize_sweep,
+                        run_deadlock_policies, run_io_models,
                         run_inheritance_vs_ceiling, run_rw_vs_exclusive,
                         run_snapshot_reads, run_temporal_staleness)
 from .figures import (FIG4_DELAYS, FIG5_DELAYS, FIG6_DELAYS,

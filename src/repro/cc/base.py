@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional
 
+from ..analyze.sanitizer import current_sanitizer
 from ..db.locks import LockMode, LockTable
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
@@ -118,15 +119,25 @@ class ConcurrencyControl:
         self._seq = itertools.count()
         #: Transactions currently carrying inherited priority from us.
         self._inheriting: set = set()
+        #: Invariant checker when the protocol sanitizer is active
+        #: (REPRO_SANITIZE / repro.analyze.sanitize); None keeps every
+        #: hook site a single attribute test.
+        active = current_sanitizer()
+        self.sanitizer = (active.attach_protocol(self)
+                          if active is not None else None)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
     # ------------------------------------------------------------------
     def register(self, txn: Transaction) -> None:
         """The transaction becomes active (started, not completed)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_register(txn)
 
     def deregister(self, txn: Transaction) -> None:
         """The transaction left the system (committed or missed)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_deregister(txn)
         self._reevaluate()
 
     # ------------------------------------------------------------------
@@ -140,6 +151,8 @@ class ConcurrencyControl:
             if self._can_acquire(txn, oid, mode):
                 self.locks.grant(oid, txn, mode)
                 self.stats.immediate_grants += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_grant(txn, oid, mode, waited=False)
                 return Immediate(None)
             self.stats.blocks += 1
             if self.locks.conflicting_holders(oid, txn, mode):
@@ -150,6 +163,8 @@ class ConcurrencyControl:
                               kernel.now)
             self.waiting.append(request)
             process.blocker = _RequestBlocker(self, request)
+            if self.sanitizer is not None:
+                self.sanitizer.on_block(txn, oid, mode)
             # _on_block may raise a TransactionAbort into the requester
             # (deadlock victim); it must leave protocol state clean if so.
             self._on_block(request)
@@ -173,6 +188,8 @@ class ConcurrencyControl:
         if self._can_acquire(txn, oid, mode):
             self.locks.grant(oid, txn, mode)
             self.stats.immediate_grants += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_grant(txn, oid, mode, waited=False)
             return True
         self.stats.blocks += 1
         if self.locks.conflicting_holders(oid, txn, mode):
@@ -184,6 +201,8 @@ class ConcurrencyControl:
                           next(self._seq), self.kernel.now,
                           on_grant=on_grant)
         self.waiting.append(request)
+        if self.sanitizer is not None:
+            self.sanitizer.on_block(txn, oid, mode)
         self._on_block(request)
         self._after_change()
         return False
@@ -203,6 +222,8 @@ class ConcurrencyControl:
     def release_all(self, txn: Transaction) -> List[int]:
         """Free every lock ``txn`` holds; wake newly grantable waiters."""
         freed = self.locks.release_all(txn)
+        if self.sanitizer is not None:
+            self.sanitizer.on_release_all(txn, freed)
         if freed or txn in self._inheriting:
             self._reevaluate()
         return freed
@@ -214,6 +235,8 @@ class ConcurrencyControl:
         the interrupt was delivered; only held locks remain here.
         """
         self.release_all(txn)
+        if self.sanitizer is not None:
+            self.sanitizer.on_abort(txn)
 
     # ------------------------------------------------------------------
     # protocol extension points
@@ -254,6 +277,9 @@ class ConcurrencyControl:
     def _grant_waiter(self, request: Request) -> None:
         self.locks.grant(request.oid, request.txn, request.mode)
         self.waiting.remove(request)
+        if self.sanitizer is not None:
+            self.sanitizer.on_grant(request.txn, request.oid,
+                                    request.mode, waited=True)
         if request.on_grant is not None:
             request.on_grant()
         else:

@@ -67,6 +67,7 @@ class PriorityCeiling(ConcurrencyControl):
     # active set maintenance (drives the static ceilings)
     # ------------------------------------------------------------------
     def register(self, txn: Transaction) -> None:
+        super().register(txn)
         self.active.add(txn)
         write_set = (txn.access_set if self.exclusive_only
                      else txn.write_set)

@@ -4,6 +4,8 @@
     python -m repro fig5 --no-cache
     python -m repro a1 --cache-dir /tmp/repro-cache
     python -m repro all --replications 3
+    python -m repro fig2 --sanitize      # run with invariant checking
+    python -m repro lint                 # static lint (repro.analyze)
 
 Each command runs the corresponding sweep from :mod:`repro.bench` and
 prints the text table the benchmark harness would print.  Sweeps
@@ -18,10 +20,12 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .analyze.sanitizer import ENV_VAR, Sanitizer, install_sanitizer
 from .bench import (format_dbsize, format_deadlock_policies,
                     format_fig2, format_fig3, format_fig4, format_fig5,
                     format_fig6, format_inheritance,
@@ -141,10 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
-    choices = list(COMMANDS) + ["all"]
+    choices = list(COMMANDS) + ["all", "lint"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
-                             "('all' runs everything)")
+                             "('all' runs everything; 'lint' runs the "
+                             "static analyzer — see 'repro lint -h')")
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
                              "(paper used 10; default 5)")
@@ -160,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--progress", action="store_true",
                         help="force the live progress/ETA line even "
                              "when stderr is not a TTY")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable the runtime protocol sanitizer "
+                             "(strict: abort on the first invariant "
+                             "violation); equivalent to REPRO_SANITIZE=1")
     return parser
 
 
@@ -174,13 +183,24 @@ def _exec_options(args: argparse.Namespace) -> ExecOptions:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # Delegate everything after 'lint' to the analyzer's own parser
+        # (it has its own options and exit-status contract).
+        from .analyze.cli import main as lint_main
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)
         return 2
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.sanitize:
+        # Via the environment so process-pool workers inherit it too;
+        # plus an in-process install so this process checks immediately.
+        os.environ[ENV_VAR] = "1"
+        install_sanitizer(Sanitizer(strict=True))
     opts = _exec_options(args)
     names = list(COMMANDS) if args.command == "all" else [args.command]
     if args.command == "all":
@@ -188,12 +208,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         names.remove("fig3")
     for name in names:
         runner, __ = COMMANDS[name]
-        started = time.time()
+        # perf_counter, not time.time: the trailer measures elapsed
+        # duration, and wall clock jumps under NTP adjustment.
+        started = time.perf_counter()
         before = session_counters()
         print(runner(args.replications, opts))
         delta = {key: value - before[key]
                  for key, value in session_counters().items()}
-        trailer = (f"[{name}: {time.time() - started:.1f}s, "
+        trailer = (f"[{name}: {time.perf_counter() - started:.1f}s, "
                    f"{args.replications} replications")
         if delta["units"]:
             trailer += (f", jobs={resolve_jobs(args.jobs)}, "

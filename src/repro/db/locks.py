@@ -15,7 +15,7 @@ Owners are opaque hashables (the transaction objects of
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Iterator, List, Optional, Set
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Set
 
 
 class LockMode(enum.Enum):
@@ -45,6 +45,11 @@ class LockTable:
         self._holders: Dict[int, Dict[Hashable, LockMode]] = {}
         #: owner -> set of oids it holds (reverse index)
         self._held_by: Dict[Hashable, Set[int]] = {}
+        #: Sanitizer hook (see :mod:`repro.analyze.invariants`): when
+        #: set, ``on_table_grant``/``on_table_release`` fire after every
+        #: state transition, catching corruption that slips past the
+        #: protocol layer.  None in normal operation.
+        self.observer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -118,6 +123,8 @@ class LockTable:
         holders[owner] = (LockMode.WRITE if mode is LockMode.WRITE
                           else LockMode.READ)
         self._held_by.setdefault(owner, set()).add(oid)
+        if self.observer is not None:
+            self.observer.on_table_grant(oid, owner, holders[owner])
 
     def release(self, oid: int, owner: Hashable) -> None:
         """Release one lock.  Raises :class:`LockError` if not held."""
@@ -130,6 +137,8 @@ class LockTable:
         self._held_by[owner].discard(oid)
         if not self._held_by[owner]:
             del self._held_by[owner]
+        if self.observer is not None:
+            self.observer.on_table_release(oid, owner)
 
     def release_all(self, owner: Hashable) -> List[int]:
         """Release every lock held by ``owner``; returns the freed oids."""

@@ -78,6 +78,8 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
                 yield from _execute_once(kernel, txn, cc, cpu, io,
                                          database, costs)
                 txn.mark_committed(kernel.now)
+                if cc.sanitizer is not None:
+                    cc.sanitizer.on_commit(txn)
                 break
             except DeadlockAbort:
                 txn.restarts += 1

@@ -1,0 +1,76 @@
+"""The lint front-end contract: exit statuses, output formats, and the
+acceptance property that the shipped package itself lints clean while a
+seeded-violation fixture does not."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analyze.cli import main as lint_main
+from repro.analyze.rules import RULE_INDEX
+from repro.cli import main as repro_main
+
+FIXTURE = str(Path(__file__).parent / "fixtures"
+              / "seeded_violations.py")
+PACKAGE_DIR = str(Path(repro.__file__).parent)
+
+
+def test_seeded_fixture_exits_nonzero_and_reports_every_rule(capsys):
+    assert lint_main([FIXTURE]) == 1
+    out = capsys.readouterr().out
+    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                 "RPL006"):
+        assert code in out, f"{code} missing from:\n{out}"
+
+
+def test_shipped_package_lints_clean(capsys):
+    assert lint_main([PACKAGE_DIR]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert lint_main([FIXTURE, "--format", "json"]) == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert {f["code"] for f in findings} >= {"RPL001", "RPL006"}
+    sample = findings[0]
+    assert set(sample) == {"code", "path", "line", "col", "message"}
+
+
+def test_select_narrows_to_requested_codes(capsys):
+    assert lint_main([FIXTURE, "--select", "RPL006"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL006" in out
+    assert "RPL001" not in out
+
+
+def test_unknown_rule_code_is_a_usage_error(capsys):
+    assert lint_main([FIXTURE, "--select", "RPL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert lint_main(["does/not/exist.py"]) == 2
+    assert "no such path" in capsys.readouterr().out
+
+
+def test_list_rules_prints_the_index(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code, description in RULE_INDEX.items():
+        assert code in out
+        assert description in out
+
+
+def test_repro_cli_delegates_lint_subcommand(capsys):
+    assert repro_main(["lint", FIXTURE, "--select", "RPL001"]) == 1
+    assert "RPL001" in capsys.readouterr().out
+
+
+def test_python_dash_m_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analyze", FIXTURE],
+        capture_output=True, text=True)
+    assert result.returncode == 1
+    assert "RPL001" in result.stdout

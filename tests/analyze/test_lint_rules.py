@@ -1,0 +1,340 @@
+"""Unit tests for each lint rule: every rule must fire on a minimal
+violation and stay silent on the sanctioned alternative."""
+
+import textwrap
+
+from repro.analyze.engine import LintEngine
+from repro.analyze.rules import DEFAULT_RULES, RULE_INDEX
+
+
+def lint(source, path="src/repro/example.py", select=None):
+    engine = LintEngine(DEFAULT_RULES, select=select)
+    return engine.check_source(textwrap.dedent(source), path)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# RPL001 — wall clock
+# ----------------------------------------------------------------------
+def test_rpl001_flags_time_time():
+    findings = lint("""
+        import time
+
+        def f():
+            return time.time()
+    """)
+    assert codes(findings) == ["RPL001"]
+    assert "time.time()" in findings[0].message
+
+
+def test_rpl001_flags_aliased_import():
+    findings = lint("""
+        import time as clock
+
+        def f():
+            return clock.time()
+    """)
+    assert codes(findings) == ["RPL001"]
+
+
+def test_rpl001_flags_from_import():
+    findings = lint("""
+        from time import time
+
+        def f():
+            return time()
+    """)
+    assert codes(findings) == ["RPL001"]
+
+
+def test_rpl001_flags_datetime_now():
+    findings = lint("""
+        import datetime
+
+        def f():
+            return datetime.datetime.now()
+    """)
+    assert codes(findings) == ["RPL001"]
+
+
+def test_rpl001_allows_perf_counter_and_monotonic():
+    findings = lint("""
+        import time
+
+        def f():
+            return time.perf_counter() + time.monotonic()
+    """)
+    assert findings == []
+
+
+def test_rpl001_exempts_the_exec_harness():
+    findings = lint("""
+        import time
+
+        def f():
+            return time.time()
+    """, path="src/repro/exec/progress.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL002 — global randomness
+# ----------------------------------------------------------------------
+def test_rpl002_flags_global_random_calls():
+    findings = lint("""
+        import random
+
+        def f():
+            return random.random() + random.randint(0, 9)
+    """)
+    assert codes(findings) == ["RPL002", "RPL002"]
+
+
+def test_rpl002_flags_from_random_import():
+    findings = lint("""
+        from random import choice
+
+        def f(items):
+            return choice(items)
+    """)
+    assert codes(findings) == ["RPL002"]
+
+
+def test_rpl002_flags_os_urandom_and_secrets():
+    findings = lint("""
+        import os
+        from secrets import token_bytes
+
+        def f():
+            return os.urandom(8)
+    """)
+    assert sorted(codes(findings)) == ["RPL002", "RPL002"]
+
+
+def test_rpl002_allows_seeded_random_streams():
+    findings = lint("""
+        from random import Random
+
+        def f(seed):
+            rng = Random(seed)
+            return rng.random()
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL003 / RPL004 — discarded syscalls
+# ----------------------------------------------------------------------
+def test_rpl003_flags_unyielded_syscall_in_generator():
+    findings = lint("""
+        def body(port, cpu):
+            port.receive()
+            yield cpu.use(1.0)
+    """)
+    assert codes(findings) == ["RPL003"]
+    assert "never yielded" in findings[0].message
+
+
+def test_rpl003_flags_bare_delay_constructor():
+    findings = lint("""
+        def body(kernel):
+            Delay(5.0)
+            yield Delay(1.0)
+    """)
+    assert codes(findings) == ["RPL003"]
+
+
+def test_rpl004_flags_blocking_syscall_in_plain_function():
+    findings = lint("""
+        def helper(cpu):
+            cpu.use(1.0)
+    """)
+    assert codes(findings) == ["RPL004"]
+
+
+def test_rpl003_silent_when_syscalls_are_yielded():
+    findings = lint("""
+        def body(port, cpu):
+            message = yield port.receive()
+            yield cpu.use(1.0)
+            return message
+    """)
+    assert findings == []
+
+
+def test_rpl003_nested_function_scoping():
+    # The inner non-generator discards a syscall: RPL004, not RPL003,
+    # even though the outer function is a generator.
+    findings = lint("""
+        def outer(cpu):
+            def inner():
+                cpu.use(1.0)
+            yield cpu.use(2.0)
+            inner()
+    """)
+    assert codes(findings) == ["RPL004"]
+
+
+# ----------------------------------------------------------------------
+# RPL005 — fingerprint-unsafe config fields
+# ----------------------------------------------------------------------
+def test_rpl005_flags_set_typed_field():
+    findings = lint("""
+        import dataclasses
+        from typing import Set
+
+        @dataclasses.dataclass(frozen=True)
+        class SweepConfig:
+            names: Set[str] = dataclasses.field(default_factory=set)
+    """)
+    assert codes(findings) == ["RPL005"]
+    assert "names" in findings[0].message
+
+
+def test_rpl005_flags_callable_and_any():
+    findings = lint("""
+        import dataclasses
+        from typing import Any, Callable
+
+        @dataclasses.dataclass
+        class HookConfig:
+            hook: Callable = print
+            blob: Any = None
+    """)
+    assert codes(findings) == ["RPL005", "RPL005"]
+
+
+def test_rpl005_flags_unsafe_nested_container():
+    findings = lint("""
+        import dataclasses
+        from typing import Dict, Set
+
+        @dataclasses.dataclass
+        class IndexConfig:
+            index: Dict[str, Set[int]] = dataclasses.field(
+                default_factory=dict)
+    """)
+    assert codes(findings) == ["RPL005"]
+
+
+def test_rpl005_accepts_primitives_and_nested_configs():
+    findings = lint("""
+        import dataclasses
+        from typing import Optional
+
+        @dataclasses.dataclass(frozen=True)
+        class InnerConfig:
+            count: int = 0
+
+        @dataclasses.dataclass(frozen=True)
+        class OuterConfig:
+            name: str = "x"
+            scale: float = 1.0
+            limit: Optional[int] = None
+            inner: InnerConfig = dataclasses.field(
+                default_factory=InnerConfig)
+    """)
+    assert findings == []
+
+
+def test_rpl005_ignores_non_config_classes():
+    findings = lint("""
+        import dataclasses
+        from typing import Set
+
+        @dataclasses.dataclass
+        class ScratchState:
+            seen: Set[int] = dataclasses.field(default_factory=set)
+    """)
+    assert findings == []
+
+
+def test_rpl005_real_config_module_is_clean():
+    from pathlib import Path
+    import repro.core.config as config_module
+    engine = LintEngine(DEFAULT_RULES, select=["RPL005"])
+    assert engine.check_file(Path(config_module.__file__)) == []
+
+
+# ----------------------------------------------------------------------
+# RPL006 — mutable defaults
+# ----------------------------------------------------------------------
+def test_rpl006_flags_list_dict_and_call_defaults():
+    findings = lint("""
+        def f(a=[], b={}, c=dict()):
+            return a, b, c
+    """)
+    assert codes(findings) == ["RPL006", "RPL006", "RPL006"]
+
+
+def test_rpl006_flags_keyword_only_defaults():
+    findings = lint("""
+        def f(*, items=[]):
+            return items
+    """)
+    assert codes(findings) == ["RPL006"]
+
+
+def test_rpl006_allows_none_and_immutables():
+    findings = lint("""
+        def f(a=None, b=(), c=0, d="x"):
+            return a, b, c, d
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# engine behaviour
+# ----------------------------------------------------------------------
+def test_noqa_with_code_suppresses_only_that_code():
+    findings = lint("""
+        import time
+
+        def f():
+            return time.time()  # noqa: RPL001
+    """)
+    assert findings == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    findings = lint("""
+        import time
+
+        def f():
+            return time.time()  # noqa: RPL002
+    """)
+    assert codes(findings) == ["RPL001"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    findings = lint("""
+        import time
+
+        def f(items=[]):  # noqa
+            return time.time()  # noqa
+    """)
+    assert findings == []
+
+
+def test_select_restricts_the_rule_set():
+    source = """
+        import time
+
+        def f(items=[]):
+            return time.time()
+    """
+    assert sorted(codes(lint(source))) == ["RPL001", "RPL006"]
+    assert codes(lint(source, select=["RPL006"])) == ["RPL006"]
+
+
+def test_syntax_error_reports_rpl000():
+    findings = lint("def broken(:\n    pass\n")
+    assert codes(findings) == ["RPL000"]
+
+
+def test_rule_index_covers_every_shipped_rule():
+    shipped = {rule.code for rule in DEFAULT_RULES}
+    assert shipped <= set(RULE_INDEX)

@@ -1,0 +1,149 @@
+"""The sanitizer on *correct* runs: full simulations under every
+protocol and both distributed modes must produce zero violations, and
+checking must not change results.  Plus the activation surface:
+environment variable, context manager, explicit install."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.analyze.sanitizer as sanitizer_module
+from repro.analyze.sanitizer import (ENV_VAR, Sanitizer,
+                                     current_sanitizer,
+                                     install_sanitizer, sanitize,
+                                     sanitizer_enabled,
+                                     uninstall_sanitizer)
+from repro.core import (DistributedConfig, SingleSiteConfig,
+                        TimingConfig, WorkloadConfig, run_distributed,
+                        run_single_site)
+from repro.txn import CostModel
+
+WORKLOAD = WorkloadConfig(n_transactions=60, mean_interarrival=20.0,
+                          transaction_size=8, size_jitter=2)
+
+
+def single_config(protocol):
+    return SingleSiteConfig(
+        protocol=protocol, db_size=100, workload=WORKLOAD,
+        timing=TimingConfig(slack_factor=6.0),
+        costs=CostModel(cpu_per_object=1.0, io_per_object=2.0),
+        seed=7)
+
+
+@pytest.mark.parametrize("protocol", ["L", "P", "PI", "C", "Cx"])
+def test_single_site_run_is_violation_free(protocol):
+    baseline = run_single_site(single_config(protocol))
+    with sanitize(strict=True) as checker:
+        checked = run_single_site(single_config(protocol))
+    assert checker.clean, checker.summary()
+    # Observation must not perturb the simulation.
+    assert checked == baseline
+
+
+@pytest.mark.parametrize("mode", ["local", "global"])
+def test_distributed_run_is_violation_free(mode):
+    config = DistributedConfig(
+        mode=mode, n_sites=3, comm_delay=1.0, db_size=120,
+        workload=dataclasses_replace(WORKLOAD, n_transactions=40),
+        timing=TimingConfig(slack_factor=6.0),
+        costs=CostModel(io_per_object=0.0), seed=11)
+    baseline = run_distributed(config)
+    with sanitize(strict=True) as checker:
+        checked = run_distributed(config)
+    assert checker.clean, checker.summary()
+    assert checked == baseline
+
+
+def dataclasses_replace(workload, **kwargs):
+    import dataclasses
+    return dataclasses.replace(workload, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# activation surface
+# ----------------------------------------------------------------------
+def test_no_sanitizer_by_default(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    uninstall_sanitizer()
+    assert current_sanitizer() is None
+    assert not sanitizer_enabled()
+
+
+@pytest.mark.parametrize("value,expected_strict", [
+    ("1", True), ("record", False)])
+def test_env_var_creates_a_sanitizer(monkeypatch, value,
+                                     expected_strict):
+    monkeypatch.setenv(ENV_VAR, value)
+    uninstall_sanitizer()
+    try:
+        sanitizer = current_sanitizer()
+        assert sanitizer is not None
+        assert sanitizer.strict is expected_strict
+        # Lazy singleton: repeated queries yield the same instance.
+        assert current_sanitizer() is sanitizer
+    finally:
+        uninstall_sanitizer()
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+def test_env_var_disabled_values(monkeypatch, value):
+    monkeypatch.setenv(ENV_VAR, value)
+    uninstall_sanitizer()
+    assert current_sanitizer() is None
+
+
+def test_explicit_install_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+    uninstall_sanitizer()
+    mine = install_sanitizer(Sanitizer(strict=False))
+    try:
+        assert current_sanitizer() is mine
+    finally:
+        uninstall_sanitizer()
+
+
+def test_sanitize_context_manager_restores_previous():
+    outer = install_sanitizer(Sanitizer(strict=False))
+    try:
+        with sanitize() as inner:
+            assert current_sanitizer() is inner
+            assert inner is not outer
+        assert current_sanitizer() is outer
+    finally:
+        uninstall_sanitizer()
+
+
+def test_protocols_skip_hooks_entirely_when_off(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    uninstall_sanitizer()
+    from repro.cc.twopl import TwoPhaseLocking
+    from repro.kernel import Kernel
+    cc = TwoPhaseLocking(Kernel(seed=1))
+    assert cc.sanitizer is None
+    assert cc.locks.observer is None
+
+
+def test_env_var_reaches_a_fresh_interpreter():
+    # The CI sanitize job relies on REPRO_SANITIZE propagating through
+    # process boundaries; prove a child interpreter picks it up.
+    env = dict(os.environ, REPRO_SANITIZE="record",
+               PYTHONPATH="src")
+    code = ("import repro.analyze.sanitizer as s; "
+            "x = s.current_sanitizer(); "
+            "print(x is not None and not x.strict)")
+    result = subprocess.run([sys.executable, "-c", code],
+                            capture_output=True, text=True, env=env,
+                            cwd=os.path.dirname(
+                                os.path.dirname(
+                                    os.path.dirname(__file__))))
+    assert result.stdout.strip() == "True", result.stderr
+
+
+def test_module_reexports_the_public_api():
+    import repro.analyze as analyze
+    for name in ("Sanitizer", "sanitize", "LintEngine", "Violation",
+                 "DEFAULT_RULES", "RULE_INDEX"):
+        assert hasattr(analyze, name)
+    assert sanitizer_module.ENV_VAR == "REPRO_SANITIZE"

@@ -30,6 +30,10 @@ def test_partition_is_balanced(shape):
 def test_staleness_nonnegative_and_zero_at_primary(shape, data):
     db_size, n_sites = shape
     catalog = ReplicaCatalog(db_size, n_sites)
+    # This test exercises the staleness *algebra* with arbitrary writes,
+    # deliberately ignoring the single-writer discipline the protocol
+    # layer enforces — detach the R2 checker (cf. core/test_validate).
+    catalog.checker = None
     writes = data.draw(st.lists(
         st.tuples(st.integers(min_value=0, max_value=n_sites - 1),
                   st.integers(min_value=0, max_value=db_size - 1),
