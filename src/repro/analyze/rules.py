@@ -374,7 +374,8 @@ class FingerprintSafetyRule(Rule):
                         return reason
             return None
         if head in local_dataclasses or head.endswith(("Config",
-                                                       "Model")):
+                                                       "Model",
+                                                       "Plan")):
             return None  # nested config dataclass: encoded recursively
         return (f"typed '{head}', which the canonical encoder does not "
                 f"know (not a primitive, container, or config "

@@ -4,11 +4,14 @@
 logic lives here so examples and notebooks can reuse it.
 """
 
-from .ablations import (format_dbsize, format_deadlock_policies,
-                        format_inheritance, format_rw_vs_exclusive,
+from .ablations import (fault_crash_plan, fault_loss_plan,
+                        format_dbsize, format_deadlock_policies,
+                        format_fault_ablation, format_inheritance,
+                        format_rw_vs_exclusive,
                         format_io_models, format_snapshot_reads,
                         format_temporal, run_dbsize_sweep,
-                        run_deadlock_policies, run_io_models,
+                        run_deadlock_policies, run_fault_ablation,
+                        run_io_models,
                         run_inheritance_vs_ceiling, run_rw_vs_exclusive,
                         run_snapshot_reads, run_temporal_staleness)
 from .figures import (FIG4_DELAYS, FIG5_DELAYS, FIG6_DELAYS,
@@ -37,8 +40,12 @@ __all__ = [
     "format_rw_vs_exclusive",
     "format_snapshot_reads",
     "format_temporal",
+    "fault_crash_plan",
+    "fault_loss_plan",
+    "format_fault_ablation",
     "run_dbsize_sweep",
     "run_deadlock_policies",
+    "run_fault_ablation",
     "run_fig2_fig3",
     "run_fig4",
     "run_fig5",

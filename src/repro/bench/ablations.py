@@ -21,9 +21,11 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..core.builder import SingleSiteSystem
+from ..core.config import DistributedConfig
 from ..core.experiment import replicate_many
 from ..core.metrics import aggregate_runs
 from ..core.reporting import format_table
+from ..faults import FaultPlan, SiteCrash
 from .figures import distributed_config, single_site_config
 
 # A1/A2/A3/A6/A7 expand into one repro.exec unit batch each (so
@@ -336,3 +338,98 @@ def format_deadlock_policies(series: List[Dict]) -> str:
     return format_table(headers, rows,
                         title="Ablation A5 - 2PL deadlock resolution "
                               "policies at size 17")
+
+
+# ----------------------------------------------------------------------
+# A8: fault injection — loss and crash degradation, both architectures
+# ----------------------------------------------------------------------
+def fault_loss_plan(loss_rate: float) -> FaultPlan:
+    """A message-loss plan (plus the retry knobs it implies)."""
+    return FaultPlan(loss_rate=loss_rate)
+
+
+def fault_crash_plan(n_sites: int, horizon: float,
+                     down_for: float) -> FaultPlan:
+    """One crash per site, staggered evenly across ``horizon``."""
+    if down_for <= 0.0:
+        return FaultPlan()
+    crashes = tuple(
+        SiteCrash(site=site,
+                  at=(site + 1) * horizon / (n_sites + 1),
+                  down_for=down_for)
+        for site in range(n_sites))
+    return FaultPlan(crashes=crashes)
+
+
+def _a8_config(mode: str, plan: FaultPlan,
+               n_transactions: int) -> DistributedConfig:
+    base = distributed_config(mode, comm_delay=2.0,
+                              read_only_fraction=0.5,
+                              n_transactions=n_transactions)
+    return dataclasses.replace(
+        base, faults=plan if plan.active or plan.needs_recovery
+        else None)
+
+
+def run_fault_ablation(loss_rates: Sequence[float] = (0.0, 0.05, 0.1),
+                       crash_downtimes: Sequence[float] = (0.0, 40.0),
+                       replications: int = 5,
+                       n_transactions: int = 120, *,
+                       jobs: Optional[int] = None,
+                       cache=None, progress=None) -> List[Dict]:
+    """A8: degradation under message loss and site crashes.
+
+    The paper assumes a fair-weather network; this ablation measures
+    what its two architectures give up when the network is not fair:
+    %missed and throughput for both modes as the loss rate rises, and
+    under one staggered crash per site of increasing length.  The
+    zero-loss / zero-downtime points run the historical fault-free
+    path, so each sweep's first row doubles as the regression baseline.
+    """
+    base = distributed_config("local", comm_delay=2.0,
+                              read_only_fraction=0.5,
+                              n_transactions=n_transactions)
+    horizon = (base.workload.n_transactions
+               * base.workload.mean_interarrival)
+    points: List[Dict] = []
+    for loss in loss_rates:
+        points.append({"kind": "loss", "x": loss,
+                       "plan": fault_loss_plan(loss)})
+    for down_for in crash_downtimes:
+        points.append({"kind": "crash", "x": down_for,
+                       "plan": fault_crash_plan(base.n_sites, horizon,
+                                                down_for)})
+    configs = [_a8_config(mode, point["plan"], n_transactions)
+               for point in points for mode in ("local", "global")]
+    summaries = replicate_many(configs, replications=replications,
+                               jobs=jobs, cache=cache,
+                               progress=progress)
+    series = []
+    for index, point in enumerate(points):
+        local = summaries[2 * index]
+        global_ = summaries[2 * index + 1]
+        series.append({
+            "kind": point["kind"],
+            "x": point["x"],
+            "local_missed": local["percent_missed"],
+            "global_missed": global_["percent_missed"],
+            "local_throughput": local["throughput"],
+            "global_throughput": global_["throughput"],
+            "messages_lost": (local.get("messages_lost", 0.0)
+                              + global_.get("messages_lost", 0.0)),
+        })
+    return series
+
+
+def format_fault_ablation(series: List[Dict]) -> str:
+    headers = ["fault", "level", "local %missed", "global %missed",
+               "local tput", "global tput", "msgs lost"]
+    labels = {"loss": "loss rate", "crash": "downtime"}
+    rows = [[labels[row["kind"]], row["x"], row["local_missed"],
+             row["global_missed"], row["local_throughput"],
+             row["global_throughput"], row["messages_lost"]]
+            for row in series]
+    return format_table(headers, rows,
+                        title="Ablation A8 - fault injection: message "
+                              "loss and site crashes, both "
+                              "architectures")

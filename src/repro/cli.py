@@ -27,12 +27,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .analyze.sanitizer import ENV_VAR, Sanitizer, install_sanitizer
 from .bench import (format_dbsize, format_deadlock_policies,
+                    format_fault_ablation,
                     format_fig2, format_fig3, format_fig4, format_fig5,
                     format_fig6, format_inheritance,
                     format_io_models, format_rw_vs_exclusive,
                     format_snapshot_reads,
                     format_temporal, run_dbsize_sweep,
-                    run_deadlock_policies, run_fig2_fig3, run_fig4,
+                    run_deadlock_policies, run_fault_ablation,
+                    run_fig2_fig3, run_fig4,
                     run_io_models,
                     run_fig5, run_fig6, run_inheritance_vs_ceiling,
                     run_rw_vs_exclusive, run_snapshot_reads,
@@ -123,6 +125,11 @@ def _a5(replications: int, opts: ExecOptions) -> str:
         run_deadlock_policies(replications=replications))
 
 
+def _a8(replications: int, opts: ExecOptions) -> str:
+    return format_fault_ablation(
+        run_fault_ablation(replications=replications, **opts.kwargs()))
+
+
 COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "fig2": (_fig2, "Figure 2 - throughput vs transaction size"),
     "fig3": (_fig3, "Figure 3 - %% deadline-missing vs size"),
@@ -137,6 +144,7 @@ COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "a5": (_a5, "Ablation A5 - 2PL deadlock policies"),
     "a6": (_a6, "Ablation A6 - lock-free snapshot reads"),
     "a7": (_a7, "Ablation A7 - bounded disks vs parallel I/O"),
+    "a8": (_a8, "Ablation A8 - fault injection: loss and crashes"),
 }
 
 
@@ -145,11 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
-    choices = list(COMMANDS) + ["all", "lint"]
+    choices = list(COMMANDS) + ["all", "lint", "faults", "run"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
                              "('all' runs everything; 'lint' runs the "
-                             "static analyzer — see 'repro lint -h')")
+                             "static analyzer; 'faults' manages fault "
+                             "plans; 'run' runs one distributed sweep "
+                             "point — see 'repro <cmd> -h')")
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
                              "(paper used 10; default 5)")
@@ -182,6 +192,107 @@ def _exec_options(args: argparse.Namespace) -> ExecOptions:
     return ExecOptions(jobs=args.jobs, cache=cache, progress=progress)
 
 
+def _faults_main(argv: List[str]) -> int:
+    """``repro faults validate plan.json`` — check a plan off-line."""
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Inspect and validate declarative fault plans.")
+    sub = parser.add_subparsers(dest="action")
+    validate = sub.add_parser(
+        "validate", help="parse + validate a fault-plan JSON file")
+    validate.add_argument("plan", help="path to the plan JSON")
+    validate.add_argument("--sites", type=int, default=None,
+                          help="also check crash/partition site ids "
+                               "against this site count")
+    args = parser.parse_args(argv)
+    if args.action != "validate":
+        parser.print_help(sys.stderr)
+        return 2
+    from .faults import load_plan
+    try:
+        plan = load_plan(args.plan)
+        if args.sites is not None:
+            plan.validate(n_sites=args.sites)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.plan}: OK (active={plan.active}, "
+          f"recovery={plan.needs_recovery}, "
+          f"loss={plan.loss_rate}, jitter={plan.delay_jitter}, "
+          f"dup={plan.duplicate_rate}, reorder={plan.reorder_rate}, "
+          f"crashes={len(plan.crashes)}, "
+          f"partitions={len(plan.partitions)})")
+    return 0
+
+
+def _run_main(argv: List[str]) -> int:
+    """``repro run`` — one distributed configuration, optionally under
+    a fault plan, averaged over seeded replications."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run the calibrated distributed configuration at "
+                    "one sweep point, optionally under a fault plan.")
+    parser.add_argument("--mode", choices=("local", "global", "both"),
+                        default="both")
+    parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="fault-plan JSON to inject")
+    parser.add_argument("--comm-delay", type=float, default=2.0)
+    parser.add_argument("--read-only-fraction", type=float, default=0.5)
+    parser.add_argument("--transactions", type=int, default=120)
+    parser.add_argument("--replications", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--progress", action="store_true")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable the runtime protocol sanitizer")
+    args = parser.parse_args(argv)
+    if args.replications < 1 or args.transactions < 1:
+        print("error: --replications and --transactions must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.sanitize:
+        os.environ[ENV_VAR] = "1"
+        install_sanitizer(Sanitizer(strict=True))
+    plan = None
+    if args.faults is not None:
+        from .faults import load_plan
+        try:
+            plan = load_plan(args.faults)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+            return 1
+    from .bench import distributed_config
+    from .core.experiment import replicate
+    opts = _exec_options(args)
+    modes = (["local", "global"] if args.mode == "both"
+             else [args.mode])
+    shown = ("percent_missed", "throughput", "messages_sent",
+             "messages_lost", "undeliverable", "ms_dropped",
+             "max_staleness", "fault_downtime", "fault_availability")
+    for mode in modes:
+        config = distributed_config(
+            mode, args.comm_delay, args.read_only_fraction,
+            n_transactions=args.transactions)
+        if plan is not None:
+            config = dataclasses.replace(config, faults=plan)
+        row = replicate(config, replications=args.replications,
+                        jobs=opts.jobs, cache=opts.cache,
+                        progress=opts.progress)
+        print(f"[{mode}] delay={args.comm_delay} "
+              f"mix={args.read_only_fraction} "
+              f"n={args.transactions} x{args.replications}")
+        for key in shown:
+            if key in row:
+                print(f"  {key:<20} {row[key]:.6g}")
+        for key in sorted(row):
+            if key.startswith("fault_") and key not in shown \
+                    and not key.endswith(("_std", "_ci95")):
+                print(f"  {key:<20} {row[key]:.6g}")
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     raw = sys.argv[1:] if argv is None else list(argv)
     if raw and raw[0] == "lint":
@@ -189,6 +300,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (it has its own options and exit-status contract).
         from .analyze.cli import main as lint_main
         return lint_main(raw[1:])
+    if raw and raw[0] == "faults":
+        return _faults_main(raw[1:])
+    if raw and raw[0] == "run":
+        return _run_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)
@@ -224,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"{delta['cache_hits']} cache hits")
             if delta["retries"]:
                 trailer += f", {delta['retries']} retried"
+            if delta.get("messages_lost"):
+                trailer += f", {delta['messages_lost']} msgs lost"
             if delta["failures"]:
                 trailer += f", {delta['failures']} FAILED"
         print(trailer + "]")

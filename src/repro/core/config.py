@@ -16,6 +16,7 @@ import dataclasses
 from typing import Optional
 
 from ..cc import PROTOCOLS
+from ..faults.plan import FaultPlan
 from ..txn.manager import CostModel
 
 
@@ -128,6 +129,12 @@ class DistributedConfig:
     #: optimisation: readers never block and never ceiling-block
     #: writers.
     snapshot_reads: bool = False
+    #: Deterministic fault plan (message loss/delay/duplication/
+    #: reordering, link partitions, site crashes) injected into the
+    #: network, plus the timeout/retry recovery knobs.  ``None`` — and
+    #: any plan with every perturbation at zero — runs the historical
+    #: fault-free code path bit-for-bit.
+    faults: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         if self.mode not in DISTRIBUTED_MODES:
@@ -145,5 +152,7 @@ class DistributedConfig:
             raise ValueError("snapshot_reads requires temporal_versions")
         if self.snapshot_reads and self.mode != "local":
             raise ValueError("snapshot_reads is a local-mode feature")
+        if self.faults is not None:
+            self.faults.validate(n_sites=self.n_sites)
         self.workload.validate()
         self.timing.validate()

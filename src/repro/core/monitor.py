@@ -57,6 +57,95 @@ class TransactionRecord:
             committed=txn.committed, read_only=txn.is_read_only)
 
 
+class DegradationStats:
+    """Fault-induced work and damage, counted where it happens.
+
+    The fault-injection layer (:mod:`repro.faults`), the reliable
+    request/reply helpers (:mod:`repro.dist.comms`) and the site
+    crash/recovery path all write into this ledger; the monitor
+    surfaces it in the summary row when a run carries an active
+    :class:`~repro.faults.plan.FaultPlan` (``enabled``), so fault-free
+    rows keep their historical key set.
+    """
+
+    COUNTERS = (
+        "messages_dropped",      # injector loss draws
+        "partition_drops",       # dropped by a directed partition
+        "messages_delayed",      # jitter applied
+        "messages_reordered",    # reorder window applied
+        "messages_duplicated",   # link-level duplicates created
+        "duplicates_suppressed",  # dedup'd at a receiver
+        "rpc_timeouts",          # receive timeouts while waiting
+        "rpc_retries",           # request resends after a timeout
+        "stale_replies",         # discarded late/duplicate replies
+        "courier_retries",       # at-least-once delivery resends
+        "courier_failures",      # couriers that exhausted attempts
+        "crashes",               # site crash events
+        "recoveries",            # site recovery events
+        "killed_by_crash",       # in-flight txns aborted by a crash
+        "purged_messages",       # inbox messages lost to a crash
+        "rejected_at_down_site",  # arrivals refused while down
+        "resync_updates",        # anti-entropy updates at recovery
+    )
+
+    def __init__(self) -> None:
+        #: Set by the system when the run has an active fault plan.
+        self.enabled = False
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
+        #: site -> virtual time it last went down (while down).
+        self._down_since: Dict[int, float] = {}
+        #: site -> accumulated downtime over closed intervals.
+        self._downtime: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # availability accounting
+    # ------------------------------------------------------------------
+    def mark_down(self, site: int, now: float) -> None:
+        self.crashes += 1
+        self._down_since.setdefault(site, now)
+
+    def mark_up(self, site: int, now: float) -> None:
+        self.recoveries += 1
+        since = self._down_since.pop(site, None)
+        if since is not None:
+            self._downtime[site] = (self._downtime.get(site, 0.0)
+                                    + (now - since))
+
+    def downtime(self, site: int, now: float) -> float:
+        """Accumulated downtime of ``site``, open interval included."""
+        total = self._downtime.get(site, 0.0)
+        since = self._down_since.get(site)
+        if since is not None:
+            total += max(0.0, now - since)
+        return total
+
+    def total_downtime(self, now: float) -> float:
+        sites = set(self._downtime) | set(self._down_since)
+        return sum(self.downtime(site, now) for site in sites)
+
+    def availability(self, n_sites: int, now: float) -> float:
+        """Fraction of site-uptime over the run: 1.0 means no site was
+        ever down."""
+        horizon = n_sites * now
+        if horizon <= 0:
+            return 1.0
+        return 1.0 - min(1.0, self.total_downtime(now) / horizon)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot with ``fault_``-prefixed keys (summary
+        rows; availability keys are added by the system, which knows
+        the clock)."""
+        return {f"fault_{name}": getattr(self, name)
+                for name in self.COUNTERS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        busy = {name: getattr(self, name) for name in self.COUNTERS
+                if getattr(self, name)}
+        return f"DegradationStats({busy})"
+
+
 class PerformanceMonitor:
     """Collects finished transactions and computes run aggregates."""
 
@@ -64,6 +153,8 @@ class PerformanceMonitor:
         self.records: List[TransactionRecord] = []
         self._first_arrival: Optional[float] = None
         self._last_finish: Optional[float] = None
+        #: Fault/recovery ledger; inert unless a fault plan enables it.
+        self.degradation = DegradationStats()
 
     # ------------------------------------------------------------------
     # collection
@@ -156,7 +247,7 @@ class PerformanceMonitor:
 
     def summary(self) -> dict:
         """One flat dict with every aggregate (experiment runner rows)."""
-        return {
+        row = {
             "processed": self.processed,
             "committed": self.committed,
             "missed": self.missed,
@@ -167,6 +258,9 @@ class PerformanceMonitor:
             "mean_blocked_time": self.mean_blocked_time(),
             "mean_response_time": self.mean_response_time(),
         }
+        if self.degradation.enabled:
+            row.update(self.degradation.as_dict())
+        return row
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PerformanceMonitor(processed={self.processed}, "

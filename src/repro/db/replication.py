@@ -106,6 +106,32 @@ class ReplicaCatalog:
             return 0.0
         return max(0.0, now - primary_ts)
 
+    def stale_copies(self, involving: Optional[int] = None):
+        """Copies lagging their primary: ``(site, oid, primary,
+        primary_ts)`` tuples, deterministic order.
+
+        ``involving`` restricts the sweep to pairs where that site is
+        either the stale secondary or the primary — the anti-entropy
+        set walked after the site recovers from a crash (pull: refresh
+        its own stale secondaries; push: re-offer its primaries'
+        updates that the crash window may have swallowed elsewhere).
+        """
+        out = []
+        for oid in range(self.db_size):
+            primary = self.primary_site(oid)
+            primary_ts = self._copy_ts[primary][oid]
+            if primary_ts <= 0.0:
+                continue
+            for site in range(self.n_sites):
+                if site == primary:
+                    continue
+                if involving is not None and involving not in (site,
+                                                               primary):
+                    continue
+                if self._copy_ts[site][oid] < primary_ts:
+                    out.append((site, oid, primary, primary_ts))
+        return out
+
     def max_staleness(self, now: float) -> float:
         """Worst staleness over all (site, object) pairs."""
         worst = 0.0

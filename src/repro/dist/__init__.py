@@ -1,0 +1,45 @@
+"""Distributed environment: sites, network, message servers, and the
+global-ceiling vs local-ceiling architectures of Section 4."""
+
+from .global_ceiling import (ceiling_manager, commit_server, data_server,
+                             global_transaction_manager)
+from .local_ceiling import local_transaction_manager, replica_applier
+from .message import (Ack, AbortTxn, DataReply, DataRequest, Decide,
+                      LockGrant, LockRequest, Message, Prepare,
+                      RegisterTxn, ReleaseAndDeregister, ReplicaUpdate,
+                      Vote)
+from .message_server import MessageServer, ServiceRegistry
+from .network import Network
+from .site import ReplyPort, Site
+from .snapshot import SnapshotReader, snapshot_read_transaction
+from .system import DistributedSystem
+
+__all__ = [
+    "AbortTxn",
+    "Ack",
+    "DataReply",
+    "DataRequest",
+    "Decide",
+    "DistributedSystem",
+    "LockGrant",
+    "LockRequest",
+    "Message",
+    "MessageServer",
+    "Network",
+    "Prepare",
+    "RegisterTxn",
+    "ReleaseAndDeregister",
+    "ReplicaUpdate",
+    "ReplyPort",
+    "ServiceRegistry",
+    "Site",
+    "SnapshotReader",
+    "Vote",
+    "ceiling_manager",
+    "commit_server",
+    "data_server",
+    "global_transaction_manager",
+    "local_transaction_manager",
+    "replica_applier",
+    "snapshot_read_transaction",
+]

@@ -1,0 +1,246 @@
+"""The local-ceiling / replication architecture (Section 4, second
+approach) — the paper's winner.
+
+Every data object is fully replicated (R1); updates happen only at the
+primary's site (R2, single-writer/multiple-reader); and a transaction
+commits *before* remote secondary copies are updated (R3) — remote
+copies are historical, propagated asynchronously.  "Since we do not have
+deadlocks at each site, and locks are not allowed to be held across the
+network, we cannot have distributed deadlocks."
+
+Mechanically:
+
+- each site runs its own :class:`PriorityCeiling` over its local copy
+  set; all lock traffic is site-local (direct protocol calls — the
+  paper's intra-site IPC that bypasses the Message Server);
+- reads always hit the local copy (primary or secondary);
+- at commit, the update's new values are installed at the local
+  primaries, then :class:`ReplicaUpdate` messages fan out to the other
+  sites, where a *replica applier* installs each one under a local
+  write lock (so propagation consumes real concurrency at the remote
+  site — the cost the paper notes limits the local approach as
+  communication delay grows);
+- appliers use last-writer-wins by version timestamp, so reordered
+  deliveries never roll a copy backwards.
+
+Fault tolerance (see :mod:`repro.faults`): under a recovery policy the
+fan-out rides bounded-retry :func:`~repro.dist.comms.courier`
+processes, and the applier deduplicates by (origin site, origin tid,
+oid, version ts) so a retried update is acknowledged but applied only
+once.  Applier transactions are site-resident: a crash aborts them
+(locks released through the protocol's own abort path) and the origin's
+courier re-delivers after recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..db.locks import LockMode
+from ..db.replication import ReplicaCatalog
+from ..db.versions import MultiVersionStore
+from ..kernel.timers import DeadlineTimer
+from ..txn.manager import CostModel
+from ..txn.transaction import (DeadlineMiss, Transaction,
+                               TransactionAbort, TransactionType)
+from .comms import RecoveryPolicy, courier
+from .message import Ack, ReplicaUpdate
+from .site import Site
+
+REPLICA_SERVICE = "replica"
+
+
+# ----------------------------------------------------------------------
+# replica propagation
+# ----------------------------------------------------------------------
+def replica_applier(site: Site, catalog: ReplicaCatalog,
+                    costs: CostModel,
+                    versions: Optional[MultiVersionStore] = None,
+                    stats=None):
+    """Generator body: receives ReplicaUpdates, spawns one applier
+    transaction per update.
+
+    At-least-once delivery makes duplicates normal under a fault plan:
+    an update already applied here (keyed by origin site, origin tid,
+    oid and version timestamp) is re-acknowledged immediately and not
+    re-installed.
+    """
+    port = site.register_service(REPLICA_SERVICE)
+    while True:
+        message = yield port.receive()
+        if not isinstance(message, ReplicaUpdate):
+            raise TypeError(f"replica applier got {message!r}")
+        key = (message.sender_site, message.origin_tid, message.oid,
+               message.timestamp)
+        if key in site.applied_updates:
+            if stats is not None:
+                stats.duplicates_suppressed += 1
+            _ack_update(site, message)
+            continue
+        if key in site.pending_updates:
+            # An applier for this very update is still in flight
+            # (waiting on the lock or the CPU): dropping the duplicate
+            # is safe — no ack yet, so the courier keeps custody until
+            # the first copy lands and future retries are re-acked.
+            if stats is not None:
+                stats.duplicates_suppressed += 1
+            continue
+        site.pending_updates.add(key)
+        txn = Transaction(
+            operations=[(message.oid, LockMode.WRITE)],
+            arrival_time=site.kernel.now,
+            deadline=float("inf"),
+            priority=message.origin_priority,
+            site=site.site_id,
+            txn_type=TransactionType.UPDATE)
+        body = _apply_update(site, catalog, costs, txn, message, versions)
+        txn.process = site.kernel.spawn(
+            body, f"replica-{site.site_id}-oid{message.oid}",
+            priority=txn.priority)
+        txn.process.payload = txn
+        site.adopt(txn.process)
+
+
+def _ack_update(site: Site, message: ReplicaUpdate) -> None:
+    if message.reply_to is None:
+        return
+    reply_site, reply_name = message.reply_to
+    site.send(reply_site, Ack(target=reply_name,
+                              sender_site=site.site_id,
+                              tag=f"applied-{message.oid}"))
+
+
+def _apply_update(site: Site, catalog: ReplicaCatalog, costs: CostModel,
+                  txn: Transaction, message: ReplicaUpdate,
+                  versions: Optional[MultiVersionStore]):
+    cc = site.ceiling
+    key = (message.sender_site, message.origin_tid, message.oid,
+           message.timestamp)
+    txn.mark_started(site.kernel.now)
+    cc.register(txn)
+    try:
+        yield cc.acquire(txn, message.oid, LockMode.WRITE)
+        if costs.apply_cpu > 0:
+            yield site.cpu.use(costs.apply_cpu)
+        data_object = site.database.object(message.oid)
+        if message.timestamp >= data_object.version_ts:
+            data_object.write(message.value, message.timestamp)
+            catalog.record_write(site.site_id, message.oid,
+                                 message.timestamp)
+        site.replica_apply_latencies.append(
+            site.kernel.now - message.timestamp)
+        if versions is not None:
+            versions.install(message.oid, message.timestamp,
+                             message.value)
+        cc.release_all(txn)
+        txn.mark_committed(site.kernel.now)
+        if cc.sanitizer is not None:
+            cc.sanitizer.on_commit(txn)
+        # Dedup memory + ack only after the install is durable, so a
+        # crash between receive and apply leaves the update re-playable.
+        site.applied_updates.add(key)
+        _ack_update(site, message)
+    except TransactionAbort:
+        # Site crash (or other abort) mid-apply: release locks and
+        # vanish.  No ack is sent, so the origin's courier re-delivers.
+        cc.abort(txn)
+    finally:
+        site.pending_updates.discard(key)
+        cc.deregister(txn)
+
+
+# ----------------------------------------------------------------------
+# the transaction manager (local mode)
+# ----------------------------------------------------------------------
+def local_transaction_manager(sites: List[Site],
+                              catalog: ReplicaCatalog, txn: Transaction,
+                              costs: CostModel,
+                              on_done: Callable[[Transaction], None],
+                              versions: Optional[List[MultiVersionStore]]
+                              = None,
+                              policy: Optional[RecoveryPolicy] = None):
+    """Generator body for a transaction under the local approach.
+
+    Without a recovery ``policy`` the commit fan-out is the historical
+    fire-and-forget send (bit-identical to the pre-fault code).  With
+    one, each (object, destination) update rides its own courier so a
+    lossy network cannot silently strand a secondary copy.
+    """
+    site = sites[txn.site]
+    kernel = site.kernel
+    cc = site.ceiling
+    catalog.check_update_locality(txn.site, txn.write_set)  # R2
+    txn.mark_started(kernel.now)
+    cc.register(txn)
+    timer = DeadlineTimer(kernel, txn.process, txn.deadline,
+                          lambda: DeadlineMiss(txn.tid))
+    try:
+        for oid, mode in txn.operations:
+            blocked_at = kernel.now
+            yield cc.acquire(txn, oid, mode)
+            txn.blocked_time += kernel.now - blocked_at
+            yield site.cpu.use(costs.cpu_per_object)
+            data_object = site.database.object(oid)
+            if mode is LockMode.READ:
+                data_object.read()
+        if costs.commit_cpu > 0:
+            yield site.cpu.use(costs.commit_cpu)
+        # Commit: install at local primaries, then release (strict 2PL).
+        commit_ts = kernel.now
+        for oid in sorted(txn.write_set):
+            site.database.object(oid).write(float(txn.tid), commit_ts)
+            catalog.record_write(site.site_id, oid, commit_ts)
+            if versions is not None:
+                versions[site.site_id].install(oid, commit_ts,
+                                               float(txn.tid))
+        cc.release_all(txn)
+        txn.mark_committed(kernel.now)
+        if cc.sanitizer is not None:
+            cc.sanitizer.on_commit(txn)
+        # R3: committed first, now propagate asynchronously.
+        if policy is None:
+            for oid in sorted(txn.write_set):
+                for other in sites:
+                    if other.site_id == site.site_id:
+                        continue
+                    site.send(other.site_id, ReplicaUpdate(
+                        target=REPLICA_SERVICE,
+                        sender_site=site.site_id,
+                        oid=oid, value=float(txn.tid),
+                        timestamp=commit_ts,
+                        origin_priority=txn.priority))
+        else:
+            for oid in sorted(txn.write_set):
+                for other in sites:
+                    if other.site_id == site.site_id:
+                        continue
+                    spawn_update_courier(
+                        site, other.site_id, oid, float(txn.tid),
+                        commit_ts, txn.priority, txn.tid, policy)
+    except TransactionAbort:
+        cc.abort(txn)
+        txn.mark_missed(kernel.now)
+    finally:
+        timer.cancel()
+        cc.deregister(txn)
+        on_done(txn)
+
+
+def spawn_update_courier(site: Site, dst: int, oid: int, value: float,
+                         timestamp: float, origin_priority: float,
+                         origin_tid: int,
+                         policy: RecoveryPolicy) -> None:
+    """Fire one bounded-retry courier carrying a ReplicaUpdate."""
+    tag = f"applied-{oid}"
+    body = courier(
+        site, dst,
+        lambda addr: ReplicaUpdate(
+            target=REPLICA_SERVICE, sender_site=site.site_id,
+            oid=oid, value=value, timestamp=timestamp,
+            origin_priority=origin_priority, origin_tid=origin_tid,
+            reply_to=addr),
+        policy, f"prop-{origin_tid}-{oid}-{dst}",
+        match=lambda m: isinstance(m, Ack) and m.tag == tag)
+    site.adopt(site.kernel.spawn(
+        body, f"prop-courier-{origin_tid}-{oid}-{dst}",
+        priority=float("inf")))

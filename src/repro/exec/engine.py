@@ -66,7 +66,7 @@ _SESSION_COUNTERS: Dict[str, int] = {}
 
 def _blank_counters() -> Dict[str, int]:
     return {"runs": 0, "units": 0, "computed": 0, "cache_hits": 0,
-            "failures": 0, "retries": 0}
+            "failures": 0, "retries": 0, "messages_lost": 0}
 
 
 def session_counters() -> Dict[str, int]:
@@ -91,6 +91,7 @@ def _accumulate(stats: ExecutionStats) -> None:
     counters["cache_hits"] += stats.cache_hits
     counters["failures"] += stats.failures
     counters["retries"] += stats.retries
+    counters["messages_lost"] += stats.messages_lost
 
 
 def run_units(units: Sequence[RunUnit], *, jobs: Optional[int] = None,

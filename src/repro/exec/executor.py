@@ -59,6 +59,9 @@ class ExecutionStats:
     busy_time: float = 0.0
     in_flight: int = 0
     pool_restarts: int = 0
+    #: Messages lost across all settled rows (fault-plan sweeps); the
+    #: progress trailer surfaces it so a lossy run is visibly lossy.
+    messages_lost: int = 0
 
     @property
     def done(self) -> int:
@@ -170,6 +173,8 @@ class _Run:
                 if row is not None:
                     self.rows[pos] = row
                     self.stats.cache_hits += 1
+                    self.stats.messages_lost += int(
+                        row.get("messages_lost", 0))
                     self.progress.update(self.stats)
                     continue
             to_run.append((pos, 0))
@@ -179,6 +184,7 @@ class _Run:
     def settle_success(self, pos: int, row: dict) -> None:
         self.rows[pos] = row
         self.stats.computed += 1
+        self.stats.messages_lost += int(row.get("messages_lost", 0))
         if self.cache is not None:
             self.cache.put(self.fingerprints[pos], row,
                            config=self.units[pos].config)

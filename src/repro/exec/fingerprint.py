@@ -25,7 +25,7 @@ from typing import Optional
 
 #: Bump whenever simulation semantics change: old cache entries must
 #: not satisfy new runs.
-CODE_VERSION = "repro-exec-v1"
+CODE_VERSION = "repro-exec-v2"  # v2: fault injection + recovery layer
 
 
 def _encode(value: object) -> object:

@@ -77,6 +77,8 @@ class TextProgress(NullProgress):
             parts.append(f"{stats.failures} failed")
         if stats.retries:
             parts.append(f"{stats.retries} retried")
+        if stats.messages_lost:
+            parts.append(f"{stats.messages_lost} msgs lost")
         if elapsed > 0 and stats.computed:
             rate = stats.computed / elapsed
             parts.append(f"{rate:.1f} u/s")

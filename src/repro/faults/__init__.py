@@ -1,0 +1,20 @@
+"""repro.faults — deterministic fault injection for distributed runs.
+
+Declarative :class:`FaultPlan`s (message loss, jitter, duplication,
+reordering, directed partitions, scheduled site crashes) injected into
+the network/message-server layer by a :class:`FaultInjector`, with all
+randomness on a dedicated kernel RNG stream so runs stay reproducible
+and zero-fault plans are bitwise identical to plan-less runs.
+"""
+
+from .injector import STREAM, FaultInjector
+from .plan import FaultPlan, LinkPartition, SiteCrash, load_plan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkPartition",
+    "SiteCrash",
+    "STREAM",
+    "load_plan",
+]

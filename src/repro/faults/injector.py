@@ -1,0 +1,92 @@
+"""Runtime fault injection driven by a :class:`FaultPlan`.
+
+The injector sits behind one explicit hook in the network
+(:meth:`repro.dist.network.Network.send` asks it to *route* each
+message) and one in the message server (a crashed site's inbox is
+*purged* through it, so the drop is counted).  All randomness comes
+from the kernel's dedicated ``"faults"`` RNG stream, and every draw is
+guarded by its probability being strictly positive — a zero-probability
+plan therefore draws nothing, never even instantiates the stream, and
+leaves the run bitwise identical to an uninjected one (the determinism
+property the test suite enforces).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+STREAM = "faults"
+
+
+class FaultInjector:
+    """Per-run fault decisions: message fates and crash scheduling."""
+
+    def __init__(self, kernel, plan, n_sites: int, stats):
+        plan.validate(n_sites)
+        self.kernel = kernel
+        self.plan = plan
+        self.n_sites = n_sites
+        #: A DegradationStats ledger (see :mod:`repro.core.monitor`).
+        self.stats = stats
+        self._rng = None
+
+    # ------------------------------------------------------------------
+    @property
+    def rng(self):
+        """The dedicated stream, created on first actual draw only —
+        a plan that never draws leaves the kernel's stream set (and
+        thus every other stream's state) untouched."""
+        if self._rng is None:
+            self._rng = self.kernel.rng.stream(STREAM)
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # the network hook
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int, delay: float) -> List[float]:
+        """Decide the fate of one message on the ``src -> dst`` link.
+
+        Returns the list of delays after which a copy of the message
+        should be delivered: ``[]`` means the message is lost, one
+        entry is normal (possibly jittered/reordered) delivery, two
+        entries mean the link duplicated it.
+        """
+        plan = self.plan
+        now = self.kernel.now
+        for partition in plan.partitions:
+            if partition.covers(src, dst, now):
+                self.stats.partition_drops += 1
+                return []
+        if plan.loss_rate > 0.0 and self.rng.random() < plan.loss_rate:
+            self.stats.messages_dropped += 1
+            return []
+        lag = delay
+        if plan.delay_jitter > 0.0:
+            lag += self.rng.uniform(0.0, plan.delay_jitter)
+            self.stats.messages_delayed += 1
+        if (plan.reorder_rate > 0.0
+                and self.rng.random() < plan.reorder_rate):
+            # Push this message behind up to a window of later traffic.
+            lag += self.rng.uniform(0.0, plan.reorder_window)
+            self.stats.messages_reordered += 1
+        fates = [lag]
+        if (plan.duplicate_rate > 0.0
+                and self.rng.random() < plan.duplicate_rate):
+            # The copy trails the original by its own (positive) lag so
+            # the duplicate is observably a second delivery.
+            spread = max(delay, plan.delay_jitter, 1.0)
+            fates.append(lag + self.rng.uniform(0.0, spread))
+            self.stats.messages_duplicated += 1
+        return fates
+
+    # ------------------------------------------------------------------
+    # crash scheduling
+    # ------------------------------------------------------------------
+    def schedule_crashes(self, crash: Callable[[int], None],
+                         recover: Callable[[int], None]) -> None:
+        """Arm the plan's crash/recovery intervals as kernel events."""
+        for interval in self.plan.crashes:
+            self.kernel.at(interval.at,
+                           lambda i=interval: crash(i.site))
+            self.kernel.at(interval.until,
+                           lambda i=interval: recover(i.site))

@@ -1,0 +1,235 @@
+"""Declarative fault plans for the distributed environment.
+
+A :class:`FaultPlan` describes every deviation from the fair-weather
+network the paper's distributed experiments assume: probabilistic
+message loss, delay jitter, duplication, bounded reordering, directed
+link partitions, and scheduled site crash/recovery intervals.  The plan
+is pure data — frozen dataclasses of primitives and tuples — so it
+
+- validates up front (``repro faults validate plan.json``),
+- round-trips through JSON for the CLI (``repro run --faults ...``),
+- nests into :class:`~repro.core.config.DistributedConfig` and is
+  fingerprinted by the exec cache like any other config field.
+
+The plan says *what* goes wrong; :mod:`repro.faults.injector` decides,
+per message, *whether* it goes wrong — drawing from a dedicated kernel
+RNG stream so a zero-probability plan makes zero draws and a faulted
+run stays bit-for-bit reproducible under its seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteCrash:
+    """One scheduled fail-stop interval: ``site`` goes down at ``at``
+    and recovers ``down_for`` time units later."""
+
+    site: int
+    at: float
+    down_for: float
+
+    def validate(self, n_sites: Optional[int] = None) -> None:
+        if self.site < 0:
+            raise ValueError(f"crash site must be >= 0, got {self.site}")
+        if n_sites is not None and self.site >= n_sites:
+            raise ValueError(f"crash site {self.site} outside "
+                             f"0..{n_sites - 1}")
+        if self.at < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.down_for <= 0:
+            raise ValueError("crash down_for must be positive")
+
+    @property
+    def until(self) -> float:
+        return self.at + self.down_for
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkPartition:
+    """One directed link outage: messages src -> dst sent in
+    [``start``, ``until``) are dropped.  Directed on purpose — an
+    asymmetric partition (requests pass, replies vanish) is the
+    hardest case for a request/reply protocol."""
+
+    src: int
+    dst: int
+    start: float
+    until: float
+
+    def validate(self, n_sites: Optional[int] = None) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("partition endpoints must be >= 0")
+        if self.src == self.dst:
+            raise ValueError("a site cannot be partitioned from itself")
+        if n_sites is not None and (self.src >= n_sites
+                                    or self.dst >= n_sites):
+            raise ValueError(f"partition {self.src}->{self.dst} outside "
+                             f"0..{n_sites - 1}")
+        if self.start < 0:
+            raise ValueError("partition start must be >= 0")
+        if self.until <= self.start:
+            raise ValueError("partition must end after it starts")
+
+    def covers(self, src: int, dst: int, now: float) -> bool:
+        return (src == self.src and dst == self.dst
+                and self.start <= now < self.until)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """The full fault specification for one distributed run.
+
+    Probabilities apply per network message; times are virtual time
+    units.  ``rpc_timeout``/``rpc_timeout_cap`` default (``None``) to
+    values derived from the run's communication delay; ``rpc_backoff``
+    is the exponential escalation factor between retries and
+    ``courier_attempts`` bounds at-least-once delivery of cleanup and
+    replica traffic (in-flight transaction RPCs retry unbounded — the
+    transaction's deadline timer bounds them).
+    """
+
+    loss_rate: float = 0.0
+    delay_jitter: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_window: float = 0.0
+    crashes: Tuple[SiteCrash, ...] = ()
+    partitions: Tuple[LinkPartition, ...] = ()
+    rpc_timeout: Optional[float] = None
+    rpc_backoff: float = 2.0
+    rpc_timeout_cap: Optional[float] = None
+    courier_attempts: int = 25
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Does this plan perturb the run at all?  An inactive plan is
+        the contract behind the determinism property test: attaching it
+        must leave the run bitwise identical to no plan."""
+        return bool(self.loss_rate > 0.0 or self.delay_jitter > 0.0
+                    or self.duplicate_rate > 0.0
+                    or self.reorder_rate > 0.0
+                    or self.crashes or self.partitions)
+
+    @property
+    def needs_recovery(self) -> bool:
+        """Does the plan require the timeout/retry protocol layer?
+
+        Loss, duplication, partitions and crashes can swallow or repeat
+        messages, so request/reply exchanges need acks and retries.
+        Pure jitter/reordering only re-times deliveries — every message
+        still arrives exactly once, and the legacy blocking exchanges
+        (which never assume reply order across *different* outstanding
+        requests) remain correct without timers.
+        """
+        return bool(self.loss_rate > 0.0 or self.duplicate_rate > 0.0
+                    or self.crashes or self.partitions)
+
+    # ------------------------------------------------------------------
+    # derived recovery parameters
+    # ------------------------------------------------------------------
+    def resolved_rpc_timeout(self, comm_delay: float) -> float:
+        """First-attempt receive timeout: explicit, or a few round
+        trips of the configured link delay."""
+        if self.rpc_timeout is not None:
+            return self.rpc_timeout
+        return max(4.0, 6.0 * comm_delay)
+
+    def resolved_rpc_cap(self, comm_delay: float) -> float:
+        """Ceiling of the exponential backoff escalation."""
+        if self.rpc_timeout_cap is not None:
+            return self.rpc_timeout_cap
+        return 8.0 * self.resolved_rpc_timeout(comm_delay)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, n_sites: Optional[int] = None) -> None:
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got "
+                                 f"{value}")
+        if self.delay_jitter < 0:
+            raise ValueError("delay_jitter must be >= 0")
+        if self.reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
+        if self.reorder_rate > 0 and self.reorder_window <= 0:
+            raise ValueError("reorder_rate needs a positive "
+                             "reorder_window")
+        if self.rpc_timeout is not None and self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if self.rpc_backoff < 1.0:
+            raise ValueError("rpc_backoff must be >= 1")
+        if self.rpc_timeout_cap is not None:
+            if self.rpc_timeout_cap <= 0:
+                raise ValueError("rpc_timeout_cap must be positive")
+            if (self.rpc_timeout is not None
+                    and self.rpc_timeout_cap < self.rpc_timeout):
+                raise ValueError("rpc_timeout_cap must be >= rpc_timeout")
+        if self.courier_attempts < 1:
+            raise ValueError("courier_attempts must be >= 1")
+        for crash in self.crashes:
+            crash.validate(n_sites)
+        by_site: dict = {}
+        for crash in self.crashes:
+            by_site.setdefault(crash.site, []).append(crash)
+        for site, crashes in by_site.items():
+            ordered = sorted(crashes, key=lambda c: c.at)
+            for earlier, later in zip(ordered, ordered[1:]):
+                if later.at < earlier.until:
+                    raise ValueError(
+                        f"overlapping crash intervals for site {site}: "
+                        f"[{earlier.at}, {earlier.until}) and "
+                        f"[{later.at}, {later.until})")
+        for partition in self.partitions:
+            partition.validate(n_sites)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict (tuples become lists)."""
+        raw = dataclasses.asdict(self)
+        raw["crashes"] = [dataclasses.asdict(c) for c in self.crashes]
+        raw["partitions"] = [dataclasses.asdict(p)
+                             for p in self.partitions]
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise ValueError(f"fault plan must be a JSON object, got "
+                             f"{type(raw).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {unknown}")
+        kwargs = dict(raw)
+        kwargs["crashes"] = tuple(
+            SiteCrash(**c) for c in raw.get("crashes", ()))
+        kwargs["partitions"] = tuple(
+            LinkPartition(**p) for p in raw.get("partitions", ()))
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Read and validate a fault plan from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        plan = FaultPlan.from_json(handle.read())
+    plan.validate()
+    return plan

@@ -97,6 +97,18 @@ class Port:
 
         return Call(attempt, label=f"receive({self.name})")
 
+    def drain(self) -> list:
+        """Remove and return every buffered (undelivered) message.
+
+        Crash modelling hook: a failed site's inbox contents are lost
+        with its volatile memory.  Waiting receivers are untouched —
+        only queued data vanishes.
+        """
+        self._check_open()
+        drained = list(self._buffer)
+        self._buffer.clear()
+        return drained
+
     def try_receive(self) -> Tuple[bool, Any]:
         """Non-blocking poll: (True, message) or (False, None)."""
         self._check_open()

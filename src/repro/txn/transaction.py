@@ -36,6 +36,12 @@ class DeadlockAbort(TransactionAbort):
     only; the priority ceiling protocol never deadlocks)."""
 
 
+class SiteFailure(TransactionAbort):
+    """The transaction's site crashed (fail-stop) while it was in
+    flight; it is aborted, its locks released, and it counts as a
+    deadline miss — a crashed site cannot meet anything."""
+
+
 class TransactionStatus(enum.Enum):
     PENDING = "pending"      # generated, not yet started
     RUNNING = "running"      # executing (or blocked on a lock/resource)

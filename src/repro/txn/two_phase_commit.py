@@ -51,10 +51,18 @@ class TwoPhaseCommit:
     def record_vote(self, site: int, commit: bool) -> bool:
         """Record one vote; returns True when all votes are in (at which
         point :attr:`phase` reflects the global decision)."""
-        if self.phase is not CommitPhase.PREPARING:
-            raise ValueError(f"vote in phase {self.phase}")
         if site not in self.participants:
             raise ValueError(f"vote from non-participant site {site}")
+        if self.phase is not CommitPhase.PREPARING:
+            # At-least-once delivery: a re-transmitted vote arriving
+            # after the decision is idempotent iff it repeats what the
+            # site already said.
+            if (self.phase in (CommitPhase.DECIDED_COMMIT,
+                               CommitPhase.DECIDED_ABORT,
+                               CommitPhase.DONE)
+                    and self._votes.get(site) == commit):
+                return True
+            raise ValueError(f"vote in phase {self.phase}")
         self._votes[site] = commit
         if len(self._votes) < len(self.participants):
             return False
@@ -73,11 +81,13 @@ class TwoPhaseCommit:
 
     def record_ack(self, site: int) -> bool:
         """Record a Decide acknowledgement; True when all acks are in."""
+        if site not in self.participants:
+            raise ValueError(f"ack from non-participant site {site}")
+        if self.phase is CommitPhase.DONE:
+            return True  # duplicate ack after completion: idempotent
         if self.phase not in (CommitPhase.DECIDED_COMMIT,
                               CommitPhase.DECIDED_ABORT):
             raise ValueError(f"ack in phase {self.phase}")
-        if site not in self.participants:
-            raise ValueError(f"ack from non-participant site {site}")
         self._acks.add(site)
         if len(self._acks) == len(self.participants):
             self.phase = CommitPhase.DONE

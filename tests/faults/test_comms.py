@@ -1,0 +1,239 @@
+"""Request/reply transports under injected faults.
+
+Deterministic scenarios only: time-bounded partitions (no random
+draws) make the retry timeline exactly predictable.
+"""
+
+import pytest
+
+from repro.core.monitor import DegradationStats
+from repro.dist.comms import (DirectComms, RecoveryPolicy,
+                              ReliableComms, courier)
+from repro.dist.message import Ack, RegisterTxn
+from repro.dist.network import Network
+from repro.dist.site import Site
+from repro.faults import FaultInjector, FaultPlan, LinkPartition
+from repro.kernel import Delay
+
+
+def build(kernel, plan=None, delay=1.0):
+    network = Network(kernel, 2, delay)
+    sites = [Site(kernel, site_id, 10, network) for site_id in range(2)]
+    stats = DegradationStats()
+    if plan is not None:
+        network.attach_injector(FaultInjector(kernel, plan, 2, stats))
+    return network, sites, stats
+
+
+def policy_for(stats, timeout=4.0, attempts=5):
+    return RecoveryPolicy(timeout=timeout, backoff=2.0,
+                          cap=8 * timeout, attempts=attempts,
+                          stats=stats)
+
+
+def echo_server(site, tag="ok"):
+    """Replies one Ack(tag) to every request's reply_to."""
+    port = site.register_service("svc")
+    while True:
+        message = yield port.receive()
+        reply_site, reply_name = message.reply_to
+        site.send(reply_site, Ack(target=reply_name,
+                                  sender_site=site.site_id, tag=tag))
+
+
+def ask(kernel, sites, comms_factory, results, match_tag="ok"):
+    def body():
+        reply = sites[0].make_reply_port("client")
+        comms = comms_factory(sites[0], reply)
+        try:
+            response = yield from comms.request(
+                1,
+                lambda: RegisterTxn(target="svc", sender_site=0,
+                                    txn=None, reply_to=reply.address),
+                match=lambda m: (isinstance(m, Ack)
+                                 and m.tag == match_tag))
+            results.append((kernel.now, response.tag))
+        finally:
+            reply.close()
+
+    kernel.spawn(body(), "client")
+
+
+# ----------------------------------------------------------------------
+# DirectComms: the legacy exchange
+# ----------------------------------------------------------------------
+def test_direct_comms_is_a_single_send_receive(kernel):
+    network, sites, __ = build(kernel)
+    kernel.spawn(echo_server(sites[1]), "server")
+    results = []
+    ask(kernel, sites, lambda site, reply: DirectComms(site, reply),
+        results)
+    kernel.run()
+    assert results == [(2.0, "ok")]          # one hop out, one back
+    assert network.messages_sent == 2
+
+
+# ----------------------------------------------------------------------
+# ReliableComms: retry through a healing partition
+# ----------------------------------------------------------------------
+def test_reliable_request_retries_until_the_partition_heals(kernel):
+    # Requests 0->1 vanish until t=10; replies 1->0 always pass.
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=0.0, until=10.0),))
+    network, sites, stats = build(kernel, plan)
+    kernel.spawn(echo_server(sites[1]), "server")
+    results = []
+    ask(kernel, sites,
+        lambda site, reply: ReliableComms(site, reply,
+                                          policy_for(stats)),
+        results)
+    kernel.run()
+    # Send@0 dropped; timeout@4, resend@4 dropped; timeout@12 (patience
+    # doubled to 8), resend@12 delivered@13, ack back@14.
+    assert results == [(14.0, "ok")]
+    assert stats.rpc_timeouts == 2
+    assert stats.rpc_retries == 2
+
+
+def test_reliable_request_discards_stale_replies(kernel):
+    def noisy_server(site):
+        port = site.register_service("svc")
+        message = yield port.receive()
+        reply_site, reply_name = message.reply_to
+        # A late duplicate of some earlier exchange arrives first...
+        site.send(reply_site, Ack(target=reply_name,
+                                  sender_site=site.site_id,
+                                  tag="stale"))
+        # ...then the real reply.
+        site.send(reply_site, Ack(target=reply_name,
+                                  sender_site=site.site_id, tag="ok"))
+
+    network, sites, stats = build(kernel)
+    kernel.spawn(noisy_server(sites[1]), "server")
+    results = []
+    ask(kernel, sites,
+        lambda site, reply: ReliableComms(site, reply,
+                                          policy_for(stats)),
+        results)
+    kernel.run()
+    assert results == [(2.0, "ok")]
+    assert stats.stale_replies == 1
+    assert stats.rpc_retries == 0
+
+
+def test_interim_ack_stretches_patience_instead_of_resending(kernel):
+    def queueing_server(site):
+        port = site.register_service("svc")
+        message = yield port.receive()
+        reply_site, reply_name = message.reply_to
+        site.send(reply_site, Ack(target=reply_name,
+                                  sender_site=site.site_id,
+                                  tag="queued"))
+        yield Delay(20.0)          # far beyond the base timeout of 4
+        site.send(reply_site, Ack(target=reply_name,
+                                  sender_site=site.site_id, tag="ok"))
+
+    network, sites, stats = build(kernel)
+    kernel.spawn(queueing_server(sites[1]), "server")
+    results = []
+
+    def body():
+        reply = sites[0].make_reply_port("client")
+        comms = ReliableComms(sites[0], reply, policy_for(stats))
+        response = yield from comms.request(
+            1,
+            lambda: RegisterTxn(target="svc", sender_site=0, txn=None,
+                                reply_to=reply.address),
+            match=lambda m: m.tag == "ok",
+            interim=lambda m: m.tag == "queued")
+        results.append((kernel.now, response.tag))
+        reply.close()
+
+    kernel.spawn(body(), "client")
+    kernel.run()
+    assert results == [(22.0, "ok")]
+    assert stats.rpc_retries == 0          # waited, did not re-send
+    assert network.messages_sent == 3      # request + queued + grant
+
+
+# ----------------------------------------------------------------------
+# couriers: bounded at-least-once delivery
+# ----------------------------------------------------------------------
+def run_courier(kernel, sites, stats, attempts=3):
+    outcome = []
+
+    def body():
+        delivered = yield from courier(
+            sites[0], 1,
+            lambda addr: RegisterTxn(target="svc", sender_site=0,
+                                     txn=None, reply_to=addr),
+            policy_for(stats, attempts=attempts), "c",
+            match=lambda m: isinstance(m, Ack) and m.tag == "ok")
+        outcome.append(delivered)
+
+    kernel.spawn(body(), "courier")
+    return outcome
+
+
+def test_courier_delivers_after_the_partition_heals(kernel):
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=0.0, until=6.0),))
+    __, sites, stats = build(kernel, plan)
+    kernel.spawn(echo_server(sites[1]), "server")
+    outcome = run_courier(kernel, sites, stats)
+    kernel.run()
+    assert outcome == [True]
+    assert stats.courier_retries == 2      # attempts 2 and 3
+    assert stats.courier_failures == 0
+
+
+def test_courier_gives_up_after_bounded_attempts(kernel):
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=0.0, until=10_000.0),))
+    __, sites, stats = build(kernel, plan)
+    kernel.spawn(echo_server(sites[1]), "server")
+    outcome = run_courier(kernel, sites, stats, attempts=3)
+    kernel.run()
+    assert outcome == [False]
+    assert stats.courier_failures == 1
+    assert stats.courier_retries == 2
+    assert stats.rpc_timeouts == 3         # every attempt timed out
+
+
+# ----------------------------------------------------------------------
+# RecoveryPolicy
+# ----------------------------------------------------------------------
+def test_policy_escalation_is_capped():
+    policy = RecoveryPolicy(timeout=4.0, backoff=2.0, cap=10.0,
+                            attempts=3, stats=DegradationStats())
+    assert policy.escalate(4.0) == 8.0
+    assert policy.escalate(8.0) == 10.0
+    assert policy.escalate(10.0) == 10.0
+
+
+def test_policy_rejects_nonsense_timings():
+    stats = DegradationStats()
+    with pytest.raises(ValueError):
+        RecoveryPolicy(timeout=0.0, backoff=2.0, cap=1.0, attempts=3,
+                       stats=stats)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(timeout=4.0, backoff=2.0, cap=2.0, attempts=3,
+                       stats=stats)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(timeout=4.0, backoff=0.9, cap=8.0, attempts=3,
+                       stats=stats)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(timeout=4.0, backoff=2.0, cap=8.0, attempts=0,
+                       stats=stats)
+
+
+def test_policy_from_plan_uses_resolved_timings():
+    stats = DegradationStats()
+    plan = FaultPlan(loss_rate=0.1, rpc_backoff=1.5,
+                     courier_attempts=7)
+    policy = RecoveryPolicy.from_plan(plan, comm_delay=2.0, stats=stats)
+    assert policy.timeout == plan.resolved_rpc_timeout(2.0)
+    assert policy.cap == plan.resolved_rpc_cap(2.0)
+    assert policy.backoff == 1.5
+    assert policy.attempts == 7
+    assert policy.stats is stats

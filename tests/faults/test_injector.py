@@ -1,0 +1,133 @@
+"""FaultInjector: message fates, crash scheduling, RNG hygiene."""
+
+from repro.core.monitor import DegradationStats
+from repro.faults import STREAM, FaultInjector, FaultPlan, LinkPartition
+from repro.faults import SiteCrash
+from repro.kernel import Kernel
+
+
+def make_injector(kernel, plan):
+    return FaultInjector(kernel, plan, 3, DegradationStats())
+
+
+# ----------------------------------------------------------------------
+# RNG hygiene: a plan that never draws leaves the kernel untouched
+# ----------------------------------------------------------------------
+def test_inert_plan_routes_without_touching_the_rng(kernel):
+    injector = make_injector(kernel, FaultPlan())
+    for __ in range(50):
+        assert injector.route(0, 1, 2.0) == [2.0]
+    assert STREAM not in kernel.rng._streams
+
+
+def test_partition_only_plan_draws_nothing(kernel):
+    # Partition decisions are time-based, not random.
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=0.0, until=100.0),))
+    injector = make_injector(kernel, plan)
+    assert injector.route(0, 1, 2.0) == []
+    assert injector.route(1, 0, 2.0) == [2.0]
+    assert STREAM not in kernel.rng._streams
+
+
+def test_faulty_draws_use_only_the_dedicated_stream(kernel):
+    before = set(kernel.rng._streams)
+    injector = make_injector(kernel, FaultPlan(loss_rate=0.5))
+    for __ in range(20):
+        injector.route(0, 1, 2.0)
+    assert set(kernel.rng._streams) - before == {STREAM}
+
+
+# ----------------------------------------------------------------------
+# fates
+# ----------------------------------------------------------------------
+def test_loss_drops_some_messages_and_counts_them(kernel):
+    injector = make_injector(kernel, FaultPlan(loss_rate=0.5))
+    fates = [injector.route(0, 1, 2.0) for __ in range(200)]
+    dropped = sum(1 for fate in fates if fate == [])
+    assert 0 < dropped < 200
+    assert injector.stats.messages_dropped == dropped
+
+
+def test_partition_drop_is_counted_separately(kernel):
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=0.0, until=50.0),))
+    injector = make_injector(kernel, plan)
+    assert injector.route(0, 1, 2.0) == []
+    assert injector.stats.partition_drops == 1
+    assert injector.stats.messages_dropped == 0
+
+
+def test_partition_respects_its_window(kernel):
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=1, start=5.0, until=10.0),))
+    injector = make_injector(kernel, plan)
+    assert injector.route(0, 1, 2.0) == [2.0]   # kernel.now == 0 < 5
+    assert injector.stats.partition_drops == 0
+
+
+def test_jitter_stretches_delivery(kernel):
+    injector = make_injector(kernel, FaultPlan(delay_jitter=3.0))
+    for __ in range(100):
+        (lag,) = injector.route(0, 1, 2.0)
+        assert 2.0 <= lag <= 5.0
+    assert injector.stats.messages_delayed == 100
+
+
+def test_reordering_pushes_messages_behind_a_window(kernel):
+    injector = make_injector(kernel, FaultPlan(reorder_rate=0.99,
+                                               reorder_window=4.0))
+    lags = [injector.route(0, 1, 2.0)[0] for __ in range(100)]
+    assert all(2.0 <= lag <= 6.0 for lag in lags)
+    assert injector.stats.messages_reordered > 50
+
+
+def test_duplication_yields_a_trailing_copy(kernel):
+    injector = make_injector(kernel, FaultPlan(duplicate_rate=0.99))
+    duplicated = [fates for fates in
+                  (injector.route(0, 1, 2.0) for __ in range(100))
+                  if len(fates) == 2]
+    assert duplicated
+    for original, copy in duplicated:
+        assert copy >= original        # the copy trails the original
+    assert injector.stats.messages_duplicated == len(duplicated)
+
+
+def test_fates_are_reproducible_across_same_seed_kernels():
+    def fates(seed):
+        kernel = Kernel(seed=seed)
+        injector = make_injector(kernel, FaultPlan(
+            loss_rate=0.2, delay_jitter=2.0, duplicate_rate=0.2,
+            reorder_rate=0.2, reorder_window=3.0))
+        return [injector.route(i % 3, (i + 1) % 3, 2.0)
+                for i in range(300)]
+
+    assert fates(7) == fates(7)
+    assert fates(7) != fates(8)
+
+
+# ----------------------------------------------------------------------
+# crash scheduling
+# ----------------------------------------------------------------------
+def test_schedule_crashes_arms_paired_events(kernel):
+    plan = FaultPlan(crashes=(
+        SiteCrash(site=1, at=10.0, down_for=5.0),
+        SiteCrash(site=2, at=12.0, down_for=8.0)))
+    injector = make_injector(kernel, plan)
+    timeline = []
+    injector.schedule_crashes(
+        lambda site: timeline.append(("down", site, kernel.now)),
+        lambda site: timeline.append(("up", site, kernel.now)))
+    kernel.run()
+    assert timeline == [("down", 1, 10.0), ("down", 2, 12.0),
+                        ("up", 1, 15.0), ("up", 2, 20.0)]
+
+
+def test_injector_validates_the_plan_against_the_site_count(kernel):
+    import pytest
+
+    with pytest.raises(ValueError):
+        FaultInjector(kernel,
+                      FaultPlan(crashes=(SiteCrash(site=9, at=1.0,
+                                                   down_for=1.0),)),
+                      3, DegradationStats())

@@ -1,0 +1,191 @@
+"""FaultPlan: validation, classification, JSON round-trips."""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkPartition, SiteCrash, load_plan
+
+
+# ----------------------------------------------------------------------
+# classification: active / needs_recovery
+# ----------------------------------------------------------------------
+def test_default_plan_is_inert():
+    plan = FaultPlan()
+    assert not plan.active
+    assert not plan.needs_recovery
+
+
+@pytest.mark.parametrize("overrides", [
+    {"loss_rate": 0.1},
+    {"delay_jitter": 1.0},
+    {"duplicate_rate": 0.1},
+    {"reorder_rate": 0.1, "reorder_window": 2.0},
+    {"crashes": (SiteCrash(site=0, at=5.0, down_for=10.0),)},
+    {"partitions": (LinkPartition(src=0, dst=1, start=0.0, until=5.0),)},
+])
+def test_any_perturbation_makes_the_plan_active(overrides):
+    assert FaultPlan(**overrides).active
+
+
+@pytest.mark.parametrize("overrides,needs", [
+    ({"loss_rate": 0.1}, True),
+    ({"duplicate_rate": 0.1}, True),
+    ({"crashes": (SiteCrash(site=0, at=5.0, down_for=10.0),)}, True),
+    ({"partitions": (LinkPartition(src=0, dst=1, start=0.0,
+                                   until=5.0),)}, True),
+    # Pure re-timing: every message still arrives exactly once, so the
+    # legacy blocking exchanges remain correct without timers.
+    ({"delay_jitter": 3.0}, False),
+    ({"reorder_rate": 0.5, "reorder_window": 4.0}, False),
+])
+def test_only_lost_state_needs_the_recovery_layer(overrides, needs):
+    assert FaultPlan(**overrides).needs_recovery is needs
+
+
+def test_timeout_knobs_alone_do_not_activate_the_plan():
+    plan = FaultPlan(rpc_timeout=3.0, rpc_timeout_cap=30.0,
+                     courier_attempts=5)
+    assert not plan.active
+    assert not plan.needs_recovery
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("overrides", [
+    {"loss_rate": 1.0},
+    {"loss_rate": -0.1},
+    {"duplicate_rate": 1.5},
+    {"reorder_rate": 1.0, "reorder_window": 2.0},
+    {"delay_jitter": -1.0},
+    {"reorder_window": -2.0},
+    {"reorder_rate": 0.2},                   # needs a positive window
+    {"rpc_timeout": 0.0},
+    {"rpc_backoff": 0.5},
+    {"rpc_timeout_cap": -1.0},
+    {"rpc_timeout": 10.0, "rpc_timeout_cap": 5.0},
+    {"courier_attempts": 0},
+])
+def test_invalid_plans_are_rejected(overrides):
+    with pytest.raises(ValueError):
+        FaultPlan(**overrides).validate()
+
+
+@pytest.mark.parametrize("crash", [
+    SiteCrash(site=-1, at=5.0, down_for=1.0),
+    SiteCrash(site=0, at=-1.0, down_for=1.0),
+    SiteCrash(site=0, at=5.0, down_for=0.0),
+])
+def test_invalid_crashes_are_rejected(crash):
+    with pytest.raises(ValueError):
+        FaultPlan(crashes=(crash,)).validate()
+
+
+def test_crash_site_must_exist():
+    plan = FaultPlan(crashes=(SiteCrash(site=3, at=5.0, down_for=1.0),))
+    plan.validate()                     # fine without a site count
+    with pytest.raises(ValueError):
+        plan.validate(n_sites=3)
+
+
+def test_overlapping_crash_intervals_are_rejected():
+    plan = FaultPlan(crashes=(
+        SiteCrash(site=1, at=10.0, down_for=20.0),
+        SiteCrash(site=1, at=25.0, down_for=5.0)))
+    with pytest.raises(ValueError, match="overlapping"):
+        plan.validate()
+    # Same times on different sites are fine.
+    FaultPlan(crashes=(
+        SiteCrash(site=1, at=10.0, down_for=20.0),
+        SiteCrash(site=2, at=25.0, down_for=5.0))).validate()
+
+
+@pytest.mark.parametrize("partition", [
+    LinkPartition(src=0, dst=0, start=0.0, until=5.0),
+    LinkPartition(src=-1, dst=0, start=0.0, until=5.0),
+    LinkPartition(src=0, dst=1, start=-1.0, until=5.0),
+    LinkPartition(src=0, dst=1, start=5.0, until=5.0),
+])
+def test_invalid_partitions_are_rejected(partition):
+    with pytest.raises(ValueError):
+        FaultPlan(partitions=(partition,)).validate()
+
+
+def test_partition_endpoints_must_exist():
+    plan = FaultPlan(partitions=(
+        LinkPartition(src=0, dst=5, start=0.0, until=5.0),))
+    with pytest.raises(ValueError):
+        plan.validate(n_sites=3)
+
+
+# ----------------------------------------------------------------------
+# interval helpers
+# ----------------------------------------------------------------------
+def test_crash_until():
+    assert SiteCrash(site=0, at=10.0, down_for=5.0).until == 15.0
+
+
+def test_partition_covers_is_directed_and_half_open():
+    partition = LinkPartition(src=0, dst=1, start=5.0, until=10.0)
+    assert partition.covers(0, 1, 5.0)
+    assert partition.covers(0, 1, 9.999)
+    assert not partition.covers(0, 1, 10.0)   # half-open end
+    assert not partition.covers(0, 1, 4.0)
+    assert not partition.covers(1, 0, 7.0)    # reverse link unaffected
+
+
+# ----------------------------------------------------------------------
+# derived recovery parameters
+# ----------------------------------------------------------------------
+def test_default_rpc_timeout_scales_with_comm_delay():
+    plan = FaultPlan()
+    assert plan.resolved_rpc_timeout(0.1) == 4.0     # floor
+    assert plan.resolved_rpc_timeout(2.0) == 12.0
+    assert plan.resolved_rpc_cap(2.0) == 96.0
+
+
+def test_explicit_rpc_timings_win():
+    plan = FaultPlan(rpc_timeout=3.0, rpc_timeout_cap=7.0)
+    assert plan.resolved_rpc_timeout(10.0) == 3.0
+    assert plan.resolved_rpc_cap(10.0) == 7.0
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation
+# ----------------------------------------------------------------------
+def test_json_round_trip_preserves_everything():
+    plan = FaultPlan(
+        loss_rate=0.05, delay_jitter=1.5, duplicate_rate=0.02,
+        reorder_rate=0.1, reorder_window=3.0,
+        crashes=(SiteCrash(site=1, at=50.0, down_for=25.0),
+                 SiteCrash(site=2, at=100.0, down_for=10.0)),
+        partitions=(LinkPartition(src=0, dst=2, start=10.0,
+                                  until=40.0),),
+        rpc_timeout=5.0, rpc_backoff=1.5, rpc_timeout_cap=40.0,
+        courier_attempts=12)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_unknown_keys_are_rejected():
+    with pytest.raises(ValueError, match="unknown fault-plan keys"):
+        FaultPlan.from_dict({"loss_rate": 0.1, "packet_loss": 0.5})
+
+
+def test_non_object_json_is_rejected():
+    with pytest.raises(ValueError, match="JSON object"):
+        FaultPlan.from_dict([0.1])
+
+
+def test_load_plan_reads_and_validates(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(FaultPlan(loss_rate=0.1).to_json(),
+                    encoding="utf-8")
+    plan = load_plan(str(path))
+    assert plan.loss_rate == 0.1
+    assert plan.needs_recovery
+
+
+def test_load_plan_rejects_invalid_contents(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"loss_rate": 2.0}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_plan(str(path))

@@ -94,3 +94,50 @@ def test_ack_wrong_phase_rejected():
     tpc.start()
     with pytest.raises(ValueError):
         tpc.record_ack(1)
+
+
+# ----------------------------------------------------------------------
+# at-least-once delivery (fault plans re-transmit votes and acks)
+# ----------------------------------------------------------------------
+def test_retransmitted_vote_after_decision_is_idempotent():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, True)
+    # The coordinator re-asked (its timeout fired while the vote was in
+    # flight) and the duplicate answer lands after the decision.
+    assert tpc.record_vote(1, True) is True
+    assert tpc.phase is CommitPhase.DECIDED_COMMIT
+
+
+def test_retransmitted_vote_must_repeat_the_original():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, True)
+    # A *flipped* late vote is not a retransmission — it is a protocol
+    # error and must not be silently absorbed.
+    with pytest.raises(ValueError):
+        tpc.record_vote(1, False)
+
+
+def test_duplicate_ack_after_done_is_idempotent():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, True)
+    tpc.record_ack(1)
+    tpc.record_ack(2)
+    assert tpc.phase is CommitPhase.DONE
+    assert tpc.record_ack(1) is True
+    assert tpc.phase is CommitPhase.DONE
+
+
+def test_duplicate_ack_before_completion_does_not_complete():
+    tpc = TwoPhaseCommit(1, [1, 2])
+    tpc.start()
+    tpc.record_vote(1, True)
+    tpc.record_vote(2, True)
+    assert tpc.record_ack(1) is False
+    assert tpc.record_ack(1) is False   # same site again: still waiting
+    assert tpc.record_ack(2) is True
