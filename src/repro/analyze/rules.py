@@ -36,6 +36,12 @@ failure mode in this repository:
   collides.
 - **RPL006 — mutable default argument.**  The standard Python trap: the
   default is evaluated once and shared across calls.
+- **RPL007 — ad-hoc output in protocol/dist modules.**  ``print`` and
+  the ``logging`` module are banned from the concurrency-control and
+  distributed layers: those layers report through the structured
+  :class:`repro.trace.tracer.Tracer` (typed events, deterministic,
+  zero-perturbation), and ad-hoc output either corrupts the CLI's
+  table contract or depends on process-global logging configuration.
 
 Each rule reports ``(code, line, col, message)`` findings through the
 engine; suppress a deliberate occurrence with ``# noqa: <code>``.
@@ -454,6 +460,59 @@ class MutableDefaultRule(Rule):
         return None
 
 
+class AdHocTraceOutputRule(Rule):
+    """RPL007: print()/logging in protocol or distributed modules.
+
+    Those layers have a structured observability channel — the
+    :class:`repro.trace.tracer.Tracer` — and ad-hoc output breaks it
+    twice over: ``print`` corrupts the CLI's machine-readable tables,
+    and the ``logging`` module consults process-global mutable
+    configuration (handlers, levels), so two runs of one fingerprint
+    can behave differently.  Emit typed Tracer events instead.
+    """
+
+    code = "RPL007"
+    name = "ad-hoc-trace-output"
+    #: Directory names this rule patrols (the protocol + dist layers).
+    scoped_parts = ("cc", "dist")
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if (item.name == "logging"
+                            or item.name.startswith("logging.")):
+                        yield self.finding(
+                            path, node,
+                            "protocol/dist modules must not use the "
+                            "logging module (process-global mutable "
+                            "state); emit structured Tracer events "
+                            "(repro.trace)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                        node.module is not None
+                        and node.module.startswith("logging.")):
+                    yield self.finding(
+                        path, node,
+                        "protocol/dist modules must not import from "
+                        "logging; emit structured Tracer events "
+                        "(repro.trace)")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    yield self.finding(
+                        path, node,
+                        "print() in a protocol/dist module corrupts "
+                        "the CLI's output contract; emit structured "
+                        "Tracer events (repro.trace)")
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -462,6 +521,7 @@ DEFAULT_RULES = (
     BlockingSyscallRule(),
     FingerprintSafetyRule(),
     MutableDefaultRule(),
+    AdHocTraceOutputRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -472,4 +532,5 @@ RULE_INDEX = {
     "RPL004": "blocking kernel syscall outside a process body",
     "RPL005": "fingerprint-unsafe config dataclass field",
     "RPL006": "mutable default argument",
+    "RPL007": "print()/logging in protocol or dist modules",
 }

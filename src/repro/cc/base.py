@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional
 
 from ..analyze.sanitizer import current_sanitizer
 from ..db.locks import LockMode, LockTable
+from ..trace.tracer import current_tracer
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
 from ..kernel.syscalls import BLOCKED, Call, Immediate
@@ -33,22 +34,35 @@ from ..txn.transaction import Transaction
 
 
 class CCStats:
-    """Counters every protocol maintains, for the Performance Monitor."""
+    """Counters every protocol maintains, for the Performance Monitor.
+
+    ``KEYS`` is the *stable, documented* counter surface: summary rows
+    emit exactly these names prefixed ``cc_`` (``cc_requests``,
+    ``cc_ceiling_blocks``, ...), in this order, for every protocol.
+    The full summary key set is pinned by the golden-file test
+    ``tests/core/test_summary_keys.py`` — extend KEYS there too.
+    """
+
+    KEYS = (
+        "requests",            # lock requests issued
+        "immediate_grants",    # granted without waiting
+        "blocks",              # requests that had to wait
+        "ceiling_blocks",      # blocked with no direct lock conflict
+        "direct_blocks",       # blocked on an incompatible holder
+        "deadlocks",           # deadlock cycles resolved (2PL family)
+        "inheritance_events",  # effective-priority raises applied
+    )
 
     def __init__(self) -> None:
-        self.requests = 0
-        self.immediate_grants = 0
-        self.blocks = 0          # requests that had to wait
-        self.ceiling_blocks = 0  # blocked with no direct lock conflict
-        self.direct_blocks = 0   # blocked on an incompatible holder
-        self.deadlocks = 0
-        self.inheritance_events = 0
+        for name in self.KEYS:
+            setattr(self, name, 0)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in self.KEYS}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{k}={v}" for k, v in self.__dict__.items())
+        parts = ", ".join(f"{name}={getattr(self, name)}"
+                          for name in self.KEYS)
         return f"CCStats({parts})"
 
 
@@ -125,6 +139,9 @@ class ConcurrencyControl:
         active = current_sanitizer()
         self.sanitizer = (active.attach_protocol(self)
                           if active is not None else None)
+        #: Structured event tracer (repro.trace); None keeps every
+        #: hook site a single attribute test, like the sanitizer.
+        self.tracer = current_tracer()
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -148,23 +165,36 @@ class ConcurrencyControl:
 
         def attempt(kernel: Kernel, process: Process):
             self.stats.requests += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.lock_request(kernel.now, txn, oid, mode)
             if self._can_acquire(txn, oid, mode):
                 self.locks.grant(oid, txn, mode)
                 self.stats.immediate_grants += 1
                 if self.sanitizer is not None:
                     self.sanitizer.on_grant(txn, oid, mode, waited=False)
+                if tracer is not None:
+                    tracer.lock_grant(kernel.now, txn, oid, mode,
+                                      waited=False)
                 return Immediate(None)
             self.stats.blocks += 1
-            if self.locks.conflicting_holders(oid, txn, mode):
+            conflicts = self.locks.conflicting_holders(oid, txn, mode)
+            if conflicts:
                 self.stats.direct_blocks += 1
+                cause = "direct"
             else:
                 self.stats.ceiling_blocks += 1
+                cause = "ceiling"
             request = Request(txn, oid, mode, process, next(self._seq),
                               kernel.now)
             self.waiting.append(request)
             process.blocker = _RequestBlocker(self, request)
             if self.sanitizer is not None:
                 self.sanitizer.on_block(txn, oid, mode)
+            if tracer is not None:
+                tracer.lock_block(
+                    kernel.now, txn, oid, mode, cause,
+                    conflicts or self._trace_blockers(request))
             # _on_block may raise a TransactionAbort into the requester
             # (deadlock victim); it must leave protocol state clean if so.
             self._on_block(request)
@@ -185,17 +215,26 @@ class ConcurrencyControl:
         machinery assumes a parked requester.
         """
         self.stats.requests += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.lock_request(self.kernel.now, txn, oid, mode)
         if self._can_acquire(txn, oid, mode):
             self.locks.grant(oid, txn, mode)
             self.stats.immediate_grants += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_grant(txn, oid, mode, waited=False)
+            if tracer is not None:
+                tracer.lock_grant(self.kernel.now, txn, oid, mode,
+                                  waited=False)
             return True
         self.stats.blocks += 1
-        if self.locks.conflicting_holders(oid, txn, mode):
+        conflicts = self.locks.conflicting_holders(oid, txn, mode)
+        if conflicts:
             self.stats.direct_blocks += 1
+            cause = "direct"
         else:
             self.stats.ceiling_blocks += 1
+            cause = "ceiling"
         request = Request(txn, oid, mode,
                           process if process is not None else txn.process,
                           next(self._seq), self.kernel.now,
@@ -203,6 +242,9 @@ class ConcurrencyControl:
         self.waiting.append(request)
         if self.sanitizer is not None:
             self.sanitizer.on_block(txn, oid, mode)
+        if tracer is not None:
+            tracer.lock_block(self.kernel.now, txn, oid, mode, cause,
+                              conflicts or self._trace_blockers(request))
         self._on_block(request)
         self._after_change()
         return False
@@ -215,6 +257,9 @@ class ConcurrencyControl:
                  if request.txn is txn and request.on_grant is not None]
         for request in stale:
             self.waiting.remove(request)
+            if self.tracer is not None:
+                self.tracer.lock_withdraw(self.kernel.now, request.txn,
+                                          request.oid)
         if stale:
             self._reevaluate()
         return len(stale)
@@ -224,6 +269,8 @@ class ConcurrencyControl:
         freed = self.locks.release_all(txn)
         if self.sanitizer is not None:
             self.sanitizer.on_release_all(txn, freed)
+        if self.tracer is not None and freed:
+            self.tracer.lock_release(self.kernel.now, txn, freed)
         if freed or txn in self._inheriting:
             self._reevaluate()
         return freed
@@ -248,6 +295,12 @@ class ConcurrencyControl:
     def _on_block(self, request: Request) -> None:
         """Called after ``request`` was parked (inheritance, deadlock
         detection).  Default: nothing."""
+
+    def _trace_blockers(self, request: Request) -> List[Transaction]:
+        """Holders to snapshot on a conflict-free (ceiling) block.
+        Protocols that can identify them override this; the trace
+        layer uses the snapshot to classify inversion intervals."""
+        return []
 
     def _grant_order(self) -> Iterable[Request]:
         """Waiters in the order they should be reconsidered."""
@@ -280,6 +333,10 @@ class ConcurrencyControl:
         if self.sanitizer is not None:
             self.sanitizer.on_grant(request.txn, request.oid,
                                     request.mode, waited=True)
+        if self.tracer is not None:
+            self.tracer.lock_grant(self.kernel.now, request.txn,
+                                   request.oid, request.mode,
+                                   waited=True)
         if request.on_grant is not None:
             request.on_grant()
         else:
@@ -289,6 +346,9 @@ class ConcurrencyControl:
         """Interrupt cleanup: the waiter leaves the wait set."""
         if request in self.waiting:
             self.waiting.remove(request)
+            if self.tracer is not None:
+                self.tracer.lock_withdraw(self.kernel.now, request.txn,
+                                          request.oid)
         self._reevaluate()
 
     # ------------------------------------------------------------------
@@ -310,6 +370,9 @@ class ConcurrencyControl:
                 if txn.process is not None and not txn.process.terminated:
                     if txn.process.inherited_priority is not None:
                         changed = True
+                        if self.tracer is not None:
+                            self.tracer.priority_restore(
+                                self.kernel.now, txn)
                     self.kernel.set_inherited_priority(txn.process, None)
         for txn, priority in contributions.items():
             if txn.process is None or txn.process.terminated:
@@ -317,6 +380,9 @@ class ConcurrencyControl:
             if txn.process.inherited_priority != priority:
                 self.stats.inheritance_events += 1
                 changed = True
+                if self.tracer is not None:
+                    self.tracer.priority_inherit(self.kernel.now, txn,
+                                                 priority)
             self.kernel.set_inherited_priority(txn.process, priority)
             self._inheriting.add(txn)
         return changed

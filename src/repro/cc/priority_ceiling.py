@@ -75,6 +75,9 @@ class PriorityCeiling(ConcurrencyControl):
             self._writers.setdefault(oid, set()).add(txn)
         for oid in txn.access_set:
             self._accessors.setdefault(oid, set()).add(txn)
+        if self.tracer is not None:
+            self.tracer.ceiling_raise(self.kernel.now, txn,
+                                      self._active_ceiling())
 
     def deregister(self, txn: Transaction) -> None:
         self.active.discard(txn)
@@ -85,7 +88,19 @@ class PriorityCeiling(ConcurrencyControl):
                     declarers.discard(txn)
                     if not declarers:
                         del index[oid]
+        if self.tracer is not None:
+            self.tracer.ceiling_lower(self.kernel.now, txn,
+                                      self._active_ceiling())
         super().deregister(txn)  # ceilings dropped: re-evaluate waiters
+
+    def _active_ceiling(self) -> Optional[float]:
+        """Highest priority among active transactions (trace snapshot:
+        the static-ceiling upper bound after a set change)."""
+        best: Optional[float] = None
+        for txn in self.active:
+            if best is None or txn.priority > best:
+                best = txn.priority
+        return best
 
     # ------------------------------------------------------------------
     # ceilings
@@ -168,6 +183,11 @@ class PriorityCeiling(ConcurrencyControl):
             return []
         return [holder for holder in self.locks.holders(oid)
                 if holder is not request.txn]
+
+    def _trace_blockers(self, request: Request) -> List[Transaction]:
+        # Ceiling blocks have no direct lock conflict; snapshot the
+        # barrier lock's holders so traces can classify inversions.
+        return self._blocking_holders(request)
 
     def _after_change(self) -> None:
         # Same fixpoint structure as PI, but the inheritance edge goes to

@@ -153,13 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
-    choices = list(COMMANDS) + ["all", "lint", "faults", "run"]
+    choices = list(COMMANDS) + ["all", "lint", "faults", "run", "trace"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
                              "('all' runs everything; 'lint' runs the "
                              "static analyzer; 'faults' manages fault "
                              "plans; 'run' runs one distributed sweep "
-                             "point — see 'repro <cmd> -h')")
+                             "point; 'trace' inspects trace artifacts "
+                             "— see 'repro <cmd> -h')")
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
                              "(paper used 10; default 5)")
@@ -246,10 +247,23 @@ def _run_main(argv: List[str]) -> int:
     parser.add_argument("--progress", action="store_true")
     parser.add_argument("--sanitize", action="store_true",
                         help="enable the runtime protocol sanitizer")
+    parser.add_argument("--trace", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="write per-unit trace artifacts "
+                             "(*.trace.jsonl + Chrome *.trace.json) "
+                             "to DIR (default: <cache-dir>/traces); "
+                             "disables the result cache so every unit "
+                             "is re-run under the tracer")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --trace: append the hottest-lock / "
+                             "longest-inversion profile trailer")
     args = parser.parse_args(argv)
     if args.replications < 1 or args.transactions < 1:
         print("error: --replications and --transactions must be >= 1",
               file=sys.stderr)
+        return 2
+    if args.profile and args.trace is None:
+        print("error: --profile requires --trace", file=sys.stderr)
         return 2
     if args.sanitize:
         os.environ[ENV_VAR] = "1"
@@ -265,6 +279,15 @@ def _run_main(argv: List[str]) -> int:
     from .bench import distributed_config
     from .core.experiment import replicate
     opts = _exec_options(args)
+    trace_dir = None
+    if args.trace is not None:
+        from .trace.tracer import ENV_TRACE_DIR
+        trace_dir = args.trace or os.path.join(
+            args.cache_dir or default_cache_dir(), "traces")
+        os.makedirs(trace_dir, exist_ok=True)
+        os.environ[ENV_TRACE_DIR] = trace_dir
+        # Cached rows would skip the traced re-run: force computation.
+        opts = dataclasses.replace(opts, cache=None)
     modes = (["local", "global"] if args.mode == "both"
              else [args.mode])
     shown = ("percent_missed", "throughput", "messages_sent",
@@ -289,8 +312,34 @@ def _run_main(argv: List[str]) -> int:
             if key.startswith("fault_") and key not in shown \
                     and not key.endswith(("_std", "_ci95")):
                 print(f"  {key:<20} {row[key]:.6g}")
+        if trace_dir is not None:
+            _print_trace_summary(config, trace_dir, args.profile)
         print()
     return 0
+
+
+def _print_trace_summary(config, trace_dir: str,
+                         profile: bool) -> None:
+    """Summarize the first replication's trace artifact for one mode.
+
+    The first unit of a ``replicate`` call runs ``config`` with seed
+    ``base_seed`` (1), so its fingerprint locates its artifact.
+    """
+    from .exec.fingerprint import config_fingerprint
+    from .trace.cli import profile_text, summary_text
+    from .trace.export import load_jsonl
+    from .trace.timeline import reconstruct
+    fp = config_fingerprint(dataclasses.replace(config, seed=1))
+    artifact = os.path.join(trace_dir, fp + ".trace.jsonl")
+    if not os.path.exists(artifact):
+        print(f"  (no trace artifact at {artifact})")
+        return
+    meta, events = load_jsonl(artifact)
+    run = reconstruct(events, dropped=int(meta.get("dropped", 0)))
+    print(f"[trace] first replication artifact: {artifact}")
+    print(summary_text(run, top=10))
+    if profile:
+        print(profile_text(run))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -302,6 +351,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(raw[1:])
     if raw and raw[0] == "faults":
         return _faults_main(raw[1:])
+    if raw and raw[0] == "trace":
+        from .trace.cli import main as trace_main
+        return trace_main(raw[1:])
     if raw and raw[0] == "run":
         return _run_main(raw[1:])
     args = build_parser().parse_args(raw)

@@ -26,6 +26,14 @@ exactly-once protocol state.
 from __future__ import annotations
 
 from ..kernel.errors import Timeout
+from ..trace.tracer import current_tracer
+
+
+def _message_label(make_message, built=None) -> str:
+    """Trace label for an exchange: the message type name."""
+    if built is not None:
+        return type(built).__name__
+    return getattr(make_message, "__name__", "request")
 
 
 class RecoveryPolicy:
@@ -61,17 +69,27 @@ class DirectComms:
 
     recovery = False
 
-    def __init__(self, site, reply):
+    def __init__(self, site, reply, tid=None):
         self.site = site
         self.reply = reply
+        self.tid = tid
+        self.tracer = current_tracer()
 
     def request(self, dst: int, make_message, match=None, interim=None):
         """Generator: send once, return the next reply — exactly the
         historical send/receive pair (``match`` is trusted, not
         checked: with exactly-once delivery the next message *is* the
         reply)."""
-        self.site.send(dst, make_message())
+        message = make_message()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.rpc_begin(self.site.kernel.now, self.site.site_id,
+                             dst, self.tid, _message_label(None, message))
+        self.site.send(dst, message)
         response = yield self.reply.receive()
+        if tracer is not None:
+            tracer.rpc_end(self.site.kernel.now, self.site.site_id,
+                           dst, self.tid, _message_label(None, message))
         return response
 
 
@@ -80,10 +98,12 @@ class ReliableComms:
 
     recovery = True
 
-    def __init__(self, site, reply, policy: RecoveryPolicy):
+    def __init__(self, site, reply, policy: RecoveryPolicy, tid=None):
         self.site = site
         self.reply = reply
         self.policy = policy
+        self.tid = tid
+        self.tracer = current_tracer()
 
     # ------------------------------------------------------------------
     def request(self, dst: int, make_message, match=None, interim=None):
@@ -100,13 +120,25 @@ class ReliableComms:
         policy = self.policy
         stats = policy.stats
         timeout = policy.timeout
+        tracer = self.tracer
+        label = None
         while True:
-            self.site.send(dst, make_message())
+            message = make_message()
+            if tracer is not None and label is None:
+                label = _message_label(None, message)
+                tracer.rpc_begin(self.site.kernel.now,
+                                 self.site.site_id, dst, self.tid,
+                                 label)
+            self.site.send(dst, message)
             patience = timeout
             try:
                 while True:
                     response = yield self.reply.receive(timeout=patience)
                     if match is None or match(response):
+                        if tracer is not None:
+                            tracer.rpc_end(self.site.kernel.now,
+                                           self.site.site_id, dst,
+                                           self.tid, label)
                         return response
                     if interim is not None and interim(response):
                         patience = policy.cap
@@ -115,6 +147,10 @@ class ReliableComms:
             except Timeout:
                 stats.rpc_timeouts += 1
                 stats.rpc_retries += 1
+                if tracer is not None:
+                    tracer.msg_retry(self.site.kernel.now,
+                                     self.site.site_id, dst, self.tid,
+                                     label)
                 timeout = policy.escalate(timeout)
 
     # ------------------------------------------------------------------
@@ -129,11 +165,19 @@ class ReliableComms:
         policy = self.policy
         stats = policy.stats
         timeout = policy.timeout
+        tracer = self.tracer
+        label = None
         pending = list(dsts)
         got = {}
         while pending:
             for dst in pending:
-                self.site.send(dst, make_message(dst))
+                message = make_message(dst)
+                if tracer is not None and label is None:
+                    label = "gather:" + _message_label(None, message)
+                    tracer.rpc_begin(self.site.kernel.now,
+                                     self.site.site_id, -1, self.tid,
+                                     label)
+                self.site.send(dst, message)
             try:
                 while pending:
                     response = yield self.reply.receive(timeout=timeout)
@@ -146,7 +190,15 @@ class ReliableComms:
             except Timeout:
                 stats.rpc_timeouts += 1
                 stats.rpc_retries += len(pending)
+                if tracer is not None:
+                    for dst in pending:
+                        tracer.msg_retry(self.site.kernel.now,
+                                         self.site.site_id, dst,
+                                         self.tid, label)
                 timeout = policy.escalate(timeout)
+        if tracer is not None and label is not None:
+            tracer.rpc_end(self.site.kernel.now, self.site.site_id,
+                           -1, self.tid, label)
         return got
 
 
@@ -164,10 +216,14 @@ def courier(site, dst: int, build, policy: RecoveryPolicy,
     stats = policy.stats
     reply = site.make_reply_port(label)
     timeout = policy.timeout
+    tracer = current_tracer()
     try:
         for attempt in range(policy.attempts):
             if attempt:
                 stats.courier_retries += 1
+                if tracer is not None:
+                    tracer.msg_retry(site.kernel.now, site.site_id,
+                                     dst, None, label)
             site.send(dst, build(reply.address))
             try:
                 while True:

@@ -36,6 +36,7 @@ from ..cc.priority_ceiling import PriorityCeiling
 from ..db.locks import LockMode
 from ..db.replication import ReplicaCatalog
 from ..kernel.timers import DeadlineTimer
+from ..trace.tracer import current_tracer
 from ..txn.manager import CostModel
 from ..txn.transaction import (DeadlineMiss, Transaction,
                                TransactionAbort)
@@ -266,13 +267,16 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
     site = sites[txn.site]
     kernel = site.kernel
     txn.mark_started(kernel.now)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.txn_start(kernel.now, txn)
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     reply = site.make_reply_port(f"txn{txn.tid}")
     if policy is None:
-        comms = DirectComms(site, reply)
+        comms = DirectComms(site, reply, tid=txn.tid)
     else:
-        comms = ReliableComms(site, reply, policy)
+        comms = ReliableComms(site, reply, policy, tid=txn.tid)
     prepared: List[int] = []
     by_site: Dict[int, List[int]] = {}
     decided_commit = False
@@ -330,6 +334,9 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 if home != txn.site:
                     by_site[home].append(oid)
             if not comms.recovery:
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "prepare",
+                                  participants)
                 for participant in participants:
                     site.send(participant,
                               Prepare(target=COMMIT_SERVICE,
@@ -340,6 +347,9 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                     yield reply.receive()  # Vote (all yes in this model)
                 prepared = list(participants)
                 decided_commit = True
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "decide",
+                                  participants, commit=True)
                 for participant in participants:
                     site.send(participant,
                               Decide(target=COMMIT_SERVICE,
@@ -350,9 +360,14 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 for __ in participants:
                     yield reply.receive()  # Ack
                 prepared = []
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "done", participants)
             else:
                 tpc = TwoPhaseCommit(txn.tid, participants)
                 tpc.start()
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "prepare",
+                                  participants)
                 votes = yield from comms.gather(
                     participants,
                     lambda dst: Prepare(target=COMMIT_SERVICE,
@@ -369,6 +384,9 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                     votes[participant].commit)
                 prepared = list(participants)
                 decided_commit = tpc.decision_commit
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "decide",
+                                  participants, commit=decided_commit)
                 yield from comms.gather(
                     participants,
                     lambda dst: Decide(target=COMMIT_SERVICE,
@@ -383,6 +401,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 for participant in participants:
                     tpc.record_ack(participant)
                 prepared = []
+                if tracer is not None:
+                    tracer.two_pc(kernel.now, txn, "done", participants)
         if costs.commit_cpu > 0:
             yield site.cpu.use(costs.commit_cpu)
         if comms.recovery:
@@ -393,6 +413,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                            sender_site=site.site_id,
                                            txn=txn))
         txn.mark_committed(kernel.now)
+        if tracer is not None:
+            tracer.txn_commit(kernel.now, txn)
     except TransactionAbort:
         # Resolve any in-doubt participants, then free the locks.  If
         # the decision was already commit when the abort struck (a lost
@@ -417,6 +439,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                          sender_site=site.site_id,
                                          txn=txn))
         txn.mark_missed(kernel.now)
+        if tracer is not None:
+            tracer.txn_miss(kernel.now, txn, reason="deadline")
     finally:
         timer.cancel()
         reply.close()

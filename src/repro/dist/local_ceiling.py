@@ -114,10 +114,13 @@ def _apply_update(site: Site, catalog: ReplicaCatalog, costs: CostModel,
                   txn: Transaction, message: ReplicaUpdate,
                   versions: Optional[MultiVersionStore]):
     cc = site.ceiling
+    tracer = cc.tracer
     key = (message.sender_site, message.origin_tid, message.oid,
            message.timestamp)
     txn.mark_started(site.kernel.now)
     cc.register(txn)
+    if tracer is not None:
+        tracer.txn_start(site.kernel.now, txn, applier=True)
     try:
         yield cc.acquire(txn, message.oid, LockMode.WRITE)
         if costs.apply_cpu > 0:
@@ -136,6 +139,8 @@ def _apply_update(site: Site, catalog: ReplicaCatalog, costs: CostModel,
         txn.mark_committed(site.kernel.now)
         if cc.sanitizer is not None:
             cc.sanitizer.on_commit(txn)
+        if tracer is not None:
+            tracer.txn_commit(site.kernel.now, txn)
         # Dedup memory + ack only after the install is durable, so a
         # crash between receive and apply leaves the update re-playable.
         site.applied_updates.add(key)
@@ -144,6 +149,8 @@ def _apply_update(site: Site, catalog: ReplicaCatalog, costs: CostModel,
         # Site crash (or other abort) mid-apply: release locks and
         # vanish.  No ack is sent, so the origin's courier re-delivers.
         cc.abort(txn)
+        if tracer is not None:
+            tracer.txn_abort(site.kernel.now, txn, reason="crash")
     finally:
         site.pending_updates.discard(key)
         cc.deregister(txn)
@@ -172,6 +179,9 @@ def local_transaction_manager(sites: List[Site],
     catalog.check_update_locality(txn.site, txn.write_set)  # R2
     txn.mark_started(kernel.now)
     cc.register(txn)
+    tracer = cc.tracer
+    if tracer is not None:
+        tracer.txn_start(kernel.now, txn)
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     try:
@@ -197,6 +207,8 @@ def local_transaction_manager(sites: List[Site],
         txn.mark_committed(kernel.now)
         if cc.sanitizer is not None:
             cc.sanitizer.on_commit(txn)
+        if tracer is not None:
+            tracer.txn_commit(kernel.now, txn)
         # R3: committed first, now propagate asynchronously.
         if policy is None:
             for oid in sorted(txn.write_set):
@@ -220,6 +232,8 @@ def local_transaction_manager(sites: List[Site],
     except TransactionAbort:
         cc.abort(txn)
         txn.mark_missed(kernel.now)
+        if tracer is not None:
+            tracer.txn_miss(kernel.now, txn, reason="deadline")
     finally:
         timer.cancel()
         cc.deregister(txn)

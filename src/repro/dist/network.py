@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..kernel.kernel import Kernel
+from ..trace.tracer import current_tracer
 from .message import Message
 
 
@@ -31,6 +32,7 @@ class Network:
         if delay < 0 or local_delay < 0:
             raise ValueError("delays must be non-negative")
         self.kernel = kernel
+        self.tracer = current_tracer()
         self.n_sites = n_sites
         self.delay = delay
         self.local_delay = local_delay
@@ -98,6 +100,12 @@ class Network:
             fates = (delay,)
         else:
             fates = self.injector.route(message.sender_site, dst, delay)
+        if self.tracer is not None:
+            self.tracer.msg_send(self.kernel.now, message.sender_site,
+                                 dst, message, copies=len(fates))
+            if not fates:
+                self.tracer.msg_drop(self.kernel.now, dst, message,
+                                     reason="injected")
 
         def deliver(lag: float) -> None:
             # Operational state — and the delay ledger — are evaluated
@@ -106,8 +114,14 @@ class Network:
             # arrives accrues no delivered delay.
             if dst in self._down:
                 self.messages_lost += 1
+                if self.tracer is not None:
+                    self.tracer.msg_drop(self.kernel.now, dst, message,
+                                         reason="site-down")
             else:
                 self.bytes_delay_total += lag
+                if self.tracer is not None:
+                    self.tracer.msg_deliver(self.kernel.now, dst,
+                                            message, lag)
                 inbox.send(message)
 
         for lag in fates:

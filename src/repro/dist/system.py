@@ -30,6 +30,7 @@ from ..db.replication import ReplicaCatalog
 from ..db.versions import MultiVersionStore
 from ..faults import FaultInjector
 from ..kernel.kernel import Kernel
+from ..trace.tracer import current_tracer
 from ..txn.generator import TransactionSpec, WorkloadGenerator
 from ..txn.priority import PriorityAssigner, proportional_deadline
 from ..txn.transaction import (SiteFailure, Transaction,
@@ -51,6 +52,7 @@ class DistributedSystem:
                  schedule: Optional[List[TransactionSpec]] = None):
         config.validate()
         self.config = config
+        self.tracer = current_tracer()
         self.kernel = Kernel(seed=config.seed)
         self.network = Network(self.kernel, config.n_sites,
                                config.comm_delay)
@@ -150,6 +152,8 @@ class DistributedSystem:
             txn.mark_missed(now)
             self.degradation.rejected_at_down_site += 1
             self.monitor.record(txn)
+            if self.tracer is not None:
+                self.tracer.txn_miss(now, txn, reason="site-down")
             return
         self._active += 1
         if self.config.mode == "global":
@@ -200,6 +204,8 @@ class DistributedSystem:
         killed, purged = site.crash(lambda: SiteFailure(site_id))
         del killed  # residents include non-txn helpers; victims counted
         self.degradation.purged_messages += purged
+        if self.tracer is not None:
+            self.tracer.site_crash(now, site_id, victims=len(victims))
 
     def recover_site(self, site_id: int) -> None:
         """Bring a crashed site back: rejoin the network, sweep any
@@ -211,6 +217,8 @@ class DistributedSystem:
         self.network.set_site_operational(site_id, True)
         self.sites[site_id].recover()
         self.degradation.mark_up(site_id, now)
+        if self.tracer is not None:
+            self.tracer.site_recover(now, site_id)
         self._finalize_orphans()
         if self.config.mode == "local":
             self._resync_replicas(site_id)
@@ -228,6 +236,9 @@ class DistributedSystem:
                                        TransactionStatus.RUNNING)):
                 txn.mark_missed(self.kernel.now)
                 self._on_done(txn)
+                if self.tracer is not None:
+                    self.tracer.txn_miss(self.kernel.now, txn,
+                                         reason="orphaned")
 
     def _resync_replicas(self, site_id: int) -> None:
         """Anti-entropy after recovery (local mode): re-propagate every

@@ -84,7 +84,14 @@ def _apply_injection(seed: int, attempt: int,
 
 
 def execute_config(config) -> dict:
-    """Run one seeded configuration and return its summary row."""
+    """Run one seeded configuration and return its summary row.
+
+    When ``REPRO_TRACE_DIR`` names a directory, the unit runs under a
+    fresh :class:`~repro.trace.tracer.Tracer` and its event stream is
+    written there as ``<config_fingerprint>.trace.jsonl`` plus a
+    Perfetto-loadable ``<config_fingerprint>.trace.json``.  Tracing is
+    zero-perturbation: the summary row is bitwise-identical either way.
+    """
     # Imported lazily: repro.core.experiment itself builds on this
     # package, and worker processes should not pay the import until
     # they actually run a unit.
@@ -92,10 +99,29 @@ def execute_config(config) -> dict:
     from ..core.config import DistributedConfig, SingleSiteConfig
 
     if isinstance(config, SingleSiteConfig):
-        return experiment.run_single_site(config)
-    if isinstance(config, DistributedConfig):
-        return experiment.run_distributed(config)
-    raise TypeError(f"unknown config type {type(config).__name__}")
+        runner = experiment.run_single_site
+    elif isinstance(config, DistributedConfig):
+        runner = experiment.run_distributed
+    else:
+        raise TypeError(f"unknown config type {type(config).__name__}")
+
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return runner(config)
+
+    from ..trace.export import export_chrome, export_jsonl
+    from ..trace.tracer import Tracer, tracing
+    from .fingerprint import config_fingerprint
+
+    tracer = Tracer()
+    with tracing(tracer):
+        row = runner(config)
+    os.makedirs(trace_dir, exist_ok=True)
+    stem = os.path.join(trace_dir, config_fingerprint(config))
+    export_jsonl(tracer, stem + ".trace.jsonl")
+    export_chrome(list(tracer.events), stem + ".trace.json",
+                  dropped=tracer.dropped)
+    return row
 
 
 def invoke_unit(index: int, config, attempt: int = 0,

@@ -25,14 +25,35 @@ from .syscalls import BLOCKED, Immediate, SysCall
 class Kernel:
     """Owns the clock, the event queue, and every process."""
 
-    def __init__(self, seed: int = 0, trace: Optional[Callable] = None):
+    def __init__(self, seed: int = 0, trace: Optional[Callable] = None,
+                 tracer=None):
         self.clock = Clock()
         self.events = EventQueue()
         self.rng = RngStreams(seed)
         self.processes: List[Process] = []
-        #: Optional callable(time, kind, process, detail) for tracing.
+        #: Legacy callable(time, kind, process, detail) hook, kept for
+        #: source compatibility.  It is routed through the structured
+        #: Tracer adapter, which *guards* it: a raising callback is
+        #: counted (``trace_errors``) instead of corrupting the run.
         self.trace = trace
+        # Deferred import: repro.trace is plain data + stdlib, but the
+        # package layout keeps the kernel importable first.
+        from ..trace.tracer import Tracer, current_tracer
+        active = tracer if tracer is not None else current_tracer()
+        if trace is not None and active is None:
+            # Private adapter so the legacy hook works without an
+            # installed tracer (small ring: it only exists to guard).
+            active = Tracer(capacity=4096)
+        if trace is not None:
+            active.attach_callback(trace)
+        #: The structured tracer, or None when tracing is off.
+        self.tracer = active
         self._dispatching = False
+
+    @property
+    def trace_errors(self) -> int:
+        """Exceptions swallowed from the legacy trace callback."""
+        return 0 if self.tracer is None else self.tracer.callback_errors
 
     # ------------------------------------------------------------------
     # time
@@ -229,5 +250,5 @@ class Kernel:
                 self.ready(joiner, value=result)
 
     def _log(self, kind: str, process: Process, detail: Any = None) -> None:
-        if self.trace is not None:
-            self.trace(self.now, kind, process, detail)
+        if self.tracer is not None:
+            self.tracer.kernel_event(self.now, kind, process, detail)

@@ -25,6 +25,7 @@ from ..kernel.errors import SchedulingError
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
 from ..kernel.syscalls import BLOCKED, Call, Immediate
+from ..trace.tracer import current_tracer
 
 POLICIES = ("priority", "fifo")
 
@@ -60,6 +61,7 @@ class CPU:
         self.kernel = kernel
         self.name = name
         self.policy = policy
+        self.tracer = current_tracer()
         self._jobs: Dict[Process, _Job] = {}
         self._running: Optional[_Job] = None
         self._slice_start = 0.0
@@ -143,11 +145,16 @@ class CPU:
             if self._completion_event is not None:
                 self.kernel.events.cancel(self._completion_event)
                 self._completion_event = None
+            if self.tracer is not None:
+                self.tracer.cpu_preempt(now, self.name,
+                                        self._running.process)
         self._running = best
         if best is not None:
             self._slice_start = now
             self._completion_event = self.kernel.at(
                 now + best.remaining, self._complete)
+            if self.tracer is not None:
+                self.tracer.cpu_dispatch(now, self.name, best.process)
 
     def _complete(self) -> None:
         job = self._running

@@ -1,0 +1,325 @@
+"""The central Tracer: typed emit API over an in-memory ring buffer.
+
+Design contract (property-tested in ``tests/trace``):
+
+- **zero perturbation** — emitting draws no randomness, schedules no
+  events and mutates no model state; a traced run is bitwise identical
+  to an untraced one.  Every hook site in the kernel, the protocols and
+  the distributed environment costs one ``is not None`` attribute test
+  when tracing is off, mirroring the sanitizer's instrumentation
+  pattern.
+- **bounded memory** — events land in a ring buffer
+  (``collections.deque(maxlen=...)``); overflow silently drops the
+  *oldest* events and is reported (``emitted`` vs ``len(events)``), so
+  a pathological run can never exhaust memory.
+- **typed records** — model layers call the ``lock_block`` /
+  ``msg_drop`` / ``two_pc`` style methods below rather than inventing
+  payload shapes; the methods translate live objects (transactions,
+  messages, processes) into the plain-data schema of
+  :mod:`repro.trace.events`.
+
+Activation mirrors :mod:`repro.analyze.sanitizer`: components sample
+:func:`current_tracer` once at construction and store ``None`` when
+tracing is off.  Install a tracer *before* building a system —
+:func:`tracing` is the convenient context manager, and the exec worker
+installs a fresh tracer per run unit when ``REPRO_TRACE_DIR`` is set.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from typing import Any, Callable, Iterable, List, Optional
+
+from .events import TraceEvent
+
+#: Ring-buffer capacity (events) unless the caller chooses otherwise.
+DEFAULT_CAPACITY = 1 << 20
+
+#: Exec-engine activation: when set, the worker installs a fresh
+#: Tracer per run unit and writes per-unit artifacts into this
+#: directory (see :mod:`repro.exec.worker`).
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+
+
+def _txn_tid(txn) -> Optional[int]:
+    return getattr(txn, "tid", None)
+
+
+def _txn_site(txn) -> Optional[int]:
+    site = getattr(txn, "site", None)
+    return site if isinstance(site, int) else None
+
+
+def _holder_entry(holder) -> List[float]:
+    """(tid, base priority) snapshot of a blocking lock holder."""
+    return [getattr(holder, "tid", -1),
+            float(getattr(holder, "priority", 0.0))]
+
+
+def _message_tid(message) -> Optional[int]:
+    txn = getattr(message, "txn", None)
+    if txn is not None:
+        return _txn_tid(txn)
+    origin = getattr(message, "origin_tid", None)
+    return origin if isinstance(origin, int) and origin >= 0 else None
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from instrumented layers."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        #: Total events emitted (>= len(events) once the ring wraps).
+        self.emitted = 0
+        #: Exceptions swallowed from legacy kernel trace callbacks.
+        self.callback_errors = 0
+        #: Legacy ``callable(time, kind, process, detail)`` hooks the
+        #: kernel routes through us (guarded; see :meth:`kernel_event`).
+        self._callbacks: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    # core
+    # ------------------------------------------------------------------
+    def emit(self, t: float, kind: str, site: Optional[int] = None,
+             tid: Optional[int] = None, **data: Any) -> None:
+        self.events.append(TraceEvent(t, kind, site, tid, data or None))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring-buffer overflow."""
+        return max(0, self.emitted - len(self.events))
+
+    def attach_callback(self, callback: Callable) -> None:
+        """Route a legacy kernel ``trace`` hook through this tracer."""
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # kernel layer
+    # ------------------------------------------------------------------
+    def kernel_event(self, t: float, kind: str, process,
+                     detail: Any = None) -> None:
+        """Process lifecycle event, forwarded to legacy callbacks.
+
+        A raising callback can no longer corrupt or abort a run: the
+        exception is swallowed, counted, and recorded as a
+        ``trace_error`` event.
+        """
+        payload = getattr(process, "payload", None)
+        data = {"process": getattr(process, "name", str(process))}
+        if detail is not None:
+            data["detail"] = repr(detail)
+        self.emit(t, kind, tid=_txn_tid(payload), **data)
+        for callback in self._callbacks:
+            try:
+                callback(t, kind, process, detail)
+            except Exception as exc:
+                self.callback_errors += 1
+                self.emit(t, "trace_error", error=repr(exc))
+
+    def cpu_dispatch(self, t: float, cpu: str, process) -> None:
+        self.emit(t, "cpu_dispatch",
+                  tid=_txn_tid(getattr(process, "payload", None)),
+                  cpu=cpu, process=getattr(process, "name", ""))
+
+    def cpu_preempt(self, t: float, cpu: str, process) -> None:
+        self.emit(t, "cpu_preempt",
+                  tid=_txn_tid(getattr(process, "payload", None)),
+                  cpu=cpu, process=getattr(process, "name", ""))
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def txn_start(self, t: float, txn, applier: bool = False) -> None:
+        data = {"priority": txn.priority, "deadline": txn.deadline,
+                "size": len(txn.operations)}
+        if applier:
+            data["applier"] = True
+        self.emit(t, "txn_start", site=_txn_site(txn),
+                  tid=_txn_tid(txn), **data)
+
+    def txn_commit(self, t: float, txn) -> None:
+        self.emit(t, "txn_commit", site=_txn_site(txn),
+                  tid=_txn_tid(txn), restarts=txn.restarts)
+
+    def txn_miss(self, t: float, txn,
+                 reason: Optional[str] = None) -> None:
+        data = {} if reason is None else {"reason": reason}
+        self.emit(t, "txn_miss", site=_txn_site(txn),
+                  tid=_txn_tid(txn), **data)
+
+    def txn_restart(self, t: float, txn) -> None:
+        self.emit(t, "txn_restart", site=_txn_site(txn),
+                  tid=_txn_tid(txn), restarts=txn.restarts)
+
+    def txn_abort(self, t: float, txn,
+                  reason: Optional[str] = None) -> None:
+        data = {} if reason is None else {"reason": reason}
+        self.emit(t, "txn_abort", site=_txn_site(txn),
+                  tid=_txn_tid(txn), **data)
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def lock_request(self, t: float, txn, oid: int, mode) -> None:
+        self.emit(t, "lock_request", site=_txn_site(txn),
+                  tid=_txn_tid(txn), oid=oid, mode=str(mode))
+
+    def lock_grant(self, t: float, txn, oid: int, mode,
+                   waited: bool) -> None:
+        self.emit(t, "lock_grant", site=_txn_site(txn),
+                  tid=_txn_tid(txn), oid=oid, mode=str(mode),
+                  waited=waited)
+
+    def lock_block(self, t: float, txn, oid: int, mode, cause: str,
+                   holders: Iterable) -> None:
+        """``cause`` is ``"direct"`` (incompatible holder) or
+        ``"ceiling"`` (admission denied with no lock conflict);
+        ``holders`` are the transactions blocking this request, each
+        snapshotted as ``[tid, base priority]`` so the timeline layer
+        can classify priority-inversion intervals offline."""
+        self.emit(t, "lock_block", site=_txn_site(txn),
+                  tid=_txn_tid(txn), oid=oid, mode=str(mode),
+                  cause=cause,
+                  holders=[_holder_entry(holder) for holder in holders],
+                  waiter_priority=float(txn.priority))
+
+    def lock_release(self, t: float, txn, oids: Iterable[int]) -> None:
+        self.emit(t, "lock_release", site=_txn_site(txn),
+                  tid=_txn_tid(txn), oids=list(oids))
+
+    def lock_withdraw(self, t: float, txn, oid: int) -> None:
+        self.emit(t, "lock_withdraw", site=_txn_site(txn),
+                  tid=_txn_tid(txn), oid=oid)
+
+    # ------------------------------------------------------------------
+    # priority management
+    # ------------------------------------------------------------------
+    def priority_inherit(self, t: float, txn,
+                         priority: float) -> None:
+        self.emit(t, "priority_inherit", site=_txn_site(txn),
+                  tid=_txn_tid(txn), priority=float(priority))
+
+    def priority_restore(self, t: float, txn) -> None:
+        self.emit(t, "priority_restore", site=_txn_site(txn),
+                  tid=_txn_tid(txn))
+
+    def ceiling_raise(self, t: float, txn,
+                      ceiling: Optional[float]) -> None:
+        self.emit(t, "ceiling_raise", site=_txn_site(txn),
+                  tid=_txn_tid(txn),
+                  ceiling=None if ceiling is None else float(ceiling))
+
+    def ceiling_lower(self, t: float, txn,
+                      ceiling: Optional[float]) -> None:
+        self.emit(t, "ceiling_lower", site=_txn_site(txn),
+                  tid=_txn_tid(txn),
+                  ceiling=None if ceiling is None else float(ceiling))
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def msg_send(self, t: float, src: int, dst: int, message,
+                 copies: int = 1) -> None:
+        self.emit(t, "msg_send", site=src, tid=_message_tid(message),
+                  dst=dst, msg=type(message).__name__,
+                  target=getattr(message, "target", None),
+                  copies=copies)
+
+    def msg_deliver(self, t: float, dst: int, message,
+                    lag: float) -> None:
+        self.emit(t, "msg_deliver", site=dst,
+                  tid=_message_tid(message),
+                  msg=type(message).__name__, lag=lag)
+
+    def msg_drop(self, t: float, dst: int, message,
+                 reason: str) -> None:
+        self.emit(t, "msg_drop", site=dst, tid=_message_tid(message),
+                  msg=type(message).__name__, reason=reason)
+
+    def msg_retry(self, t: float, site: Optional[int], dst: int,
+                  tid: Optional[int], label: str) -> None:
+        self.emit(t, "msg_retry", site=site, tid=tid, dst=dst,
+                  label=label)
+
+    def msg_undeliverable(self, t: float, site: int, message) -> None:
+        self.emit(t, "msg_undeliverable", site=site,
+                  tid=_message_tid(message),
+                  msg=type(message).__name__,
+                  target=getattr(message, "target", None))
+
+    # ------------------------------------------------------------------
+    # request/reply spans and 2PC
+    # ------------------------------------------------------------------
+    def rpc_begin(self, t: float, site: Optional[int], dst: int,
+                  tid: Optional[int], label: str) -> None:
+        self.emit(t, "rpc_begin", site=site, tid=tid, dst=dst,
+                  label=label)
+
+    def rpc_end(self, t: float, site: Optional[int], dst: int,
+                tid: Optional[int], label: str) -> None:
+        self.emit(t, "rpc_end", site=site, tid=tid, dst=dst,
+                  label=label)
+
+    def two_pc(self, t: float, txn, phase: str,
+               participants: Iterable[int],
+               commit: Optional[bool] = None) -> None:
+        data = {"participants": list(participants)}
+        if commit is not None:
+            data["commit"] = commit
+        self.emit(t, f"2pc_{phase}", site=_txn_site(txn),
+                  tid=_txn_tid(txn), **data)
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def site_crash(self, t: float, site: int, victims: int = 0) -> None:
+        self.emit(t, "site_crash", site=site, victims=victims)
+
+    def site_recover(self, t: float, site: int) -> None:
+        self.emit(t, "site_recover", site=site)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tracer(events={len(self.events)}, "
+                f"emitted={self.emitted}, dropped={self.dropped})")
+
+
+# ----------------------------------------------------------------------
+# activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is off.
+
+    Components sample this once at construction, so install a tracer
+    *before* building the system you want traced."""
+    return _ACTIVE
+
+
+def install_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Make ``tracer`` the active one (None turns tracing off)."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+@contextlib.contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """``with tracing() as t: ...`` — install (and restore) a tracer."""
+    active = tracer if tracer is not None else Tracer()
+    previous = current_tracer()
+    install_tracer(active)
+    try:
+        yield active
+    finally:
+        install_tracer(previous)

@@ -70,6 +70,9 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
     """
     txn.mark_started(kernel.now)
     cc.register(txn)
+    tracer = cc.tracer
+    if tracer is not None:
+        tracer.txn_start(kernel.now, txn)
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     try:
@@ -80,15 +83,21 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
                 txn.mark_committed(kernel.now)
                 if cc.sanitizer is not None:
                     cc.sanitizer.on_commit(txn)
+                if tracer is not None:
+                    tracer.txn_commit(kernel.now, txn)
                 break
             except DeadlockAbort:
                 txn.restarts += 1
                 cc.abort(txn)
+                if tracer is not None:
+                    tracer.txn_restart(kernel.now, txn)
                 if costs.restart_delay > 0:
                     yield Delay(costs.restart_delay)
     except DeadlineMiss:
         cc.abort(txn)
         txn.mark_missed(kernel.now)
+        if tracer is not None:
+            tracer.txn_miss(kernel.now, txn, reason="deadline")
     finally:
         timer.cancel()
         cc.deregister(txn)

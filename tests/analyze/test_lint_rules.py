@@ -287,6 +287,66 @@ def test_rpl006_allows_none_and_immutables():
 
 
 # ----------------------------------------------------------------------
+# RPL007 — ad-hoc output in protocol/dist modules
+# ----------------------------------------------------------------------
+def test_rpl007_flags_print_in_cc_module():
+    findings = lint("""
+        def grant(request):
+            print("granted", request)
+    """, path="src/repro/cc/priority_ceiling.py")
+    assert codes(findings) == ["RPL007"]
+    assert "Tracer" in findings[0].message
+
+
+def test_rpl007_flags_logging_in_dist_module():
+    findings = lint("""
+        import logging
+
+        from logging import getLogger
+    """, path="src/repro/dist/network.py")
+    assert codes(findings) == ["RPL007", "RPL007"]
+
+
+def test_rpl007_flags_logging_submodule_import():
+    findings = lint("""
+        import logging.handlers
+    """, path="src/repro/dist/comms.py")
+    assert codes(findings) == ["RPL007"]
+
+
+def test_rpl007_silent_on_tracer_usage():
+    findings = lint("""
+        from ..trace.tracer import current_tracer
+
+        def deliver(now, dst, message, lag):
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.msg_deliver(now, dst, message, lag)
+    """, path="src/repro/dist/network.py")
+    assert findings == []
+
+
+def test_rpl007_scoped_to_cc_and_dist_only():
+    source = """
+        def report(row):
+            print(row)
+    """
+    assert codes(lint(source, path="src/repro/cli.py")) == []
+    assert codes(lint(source, path="tests/dist/test_network.py")) == []
+
+
+def test_rpl007_real_cc_and_dist_packages_are_clean():
+    from pathlib import Path
+    import repro.cc as cc_pkg
+    import repro.dist as dist_pkg
+    engine = LintEngine(DEFAULT_RULES, select=["RPL007"])
+    for pkg in (cc_pkg, dist_pkg):
+        for module_path in sorted(
+                Path(pkg.__file__).parent.glob("*.py")):
+            assert engine.check_file(module_path) == [], module_path
+
+
+# ----------------------------------------------------------------------
 # engine behaviour
 # ----------------------------------------------------------------------
 def test_noqa_with_code_suppresses_only_that_code():

@@ -1,0 +1,190 @@
+"""Tracer unit behaviour: ring buffer, typed events, activation, and
+the hardened legacy kernel trace callback (satellite: a raising legacy
+hook is guarded, counted, and cannot corrupt a run)."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Delay
+from repro.trace import (EVENT_KINDS, Tracer, current_tracer,
+                         install_tracer, tracing)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    assert current_tracer() is None
+    yield
+    install_tracer(None)
+
+
+# ----------------------------------------------------------------------
+# ring buffer
+# ----------------------------------------------------------------------
+def test_emit_appends_typed_events():
+    tracer = Tracer()
+    tracer.emit(1.5, "txn_start", site=0, tid=7, priority=-3.0)
+    assert len(tracer) == 1
+    event = tracer.events[0]
+    assert event.t == 1.5
+    assert event.kind == "txn_start"
+    assert event.site == 0
+    assert event.tid == 7
+    assert event.data == {"priority": -3.0}
+    assert tracer.dropped == 0
+
+
+def test_ring_buffer_drops_oldest_and_reports():
+    tracer = Tracer(capacity=3)
+    for k in range(5):
+        tracer.emit(float(k), "txn_start", tid=k)
+    assert len(tracer.events) == 3
+    assert tracer.emitted == 5
+    assert tracer.dropped == 2
+    assert [event.tid for event in tracer.events] == [2, 3, 4]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# typed emit surface stays inside the documented schema
+# ----------------------------------------------------------------------
+def test_typed_methods_emit_registered_kinds():
+    class FakeTxn:
+        tid = 3
+        site = 1
+        priority = -5.0
+        deadline = 100.0
+        restarts = 0
+        operations = [(1, "r")]
+
+    class FakeMsg:
+        txn = None
+        origin_tid = 3
+        target = "replica"
+
+    tracer = Tracer()
+    txn = FakeTxn()
+    tracer.txn_start(0.0, txn)
+    tracer.txn_commit(1.0, txn)
+    tracer.txn_miss(1.0, txn, reason="deadline")
+    tracer.txn_restart(1.0, txn)
+    tracer.txn_abort(1.0, txn, reason="crash")
+    tracer.lock_request(2.0, txn, 9, "R")
+    tracer.lock_grant(2.0, txn, 9, "R", waited=False)
+    tracer.lock_block(2.0, txn, 9, "W", "direct", [txn])
+    tracer.lock_release(3.0, txn, [9])
+    tracer.lock_withdraw(3.0, txn, 9)
+    tracer.priority_inherit(3.0, txn, -1.0)
+    tracer.priority_restore(3.5, txn)
+    tracer.ceiling_raise(4.0, txn, -1.0)
+    tracer.ceiling_lower(4.0, txn, None)
+    tracer.msg_send(5.0, 0, 1, FakeMsg(), copies=2)
+    tracer.msg_deliver(5.5, 1, FakeMsg(), lag=0.5)
+    tracer.msg_drop(5.5, 1, FakeMsg(), reason="injected")
+    tracer.msg_retry(6.0, 0, 1, 3, "LockRequest")
+    tracer.msg_undeliverable(6.0, 1, FakeMsg())
+    tracer.rpc_begin(7.0, 0, 1, 3, "LockRequest")
+    tracer.rpc_end(7.5, 0, 1, 3, "LockRequest")
+    tracer.two_pc(8.0, txn, "prepare", [1, 2])
+    tracer.two_pc(8.5, txn, "decide", [1, 2], commit=True)
+    tracer.two_pc(9.0, txn, "done", [1, 2])
+    tracer.site_crash(10.0, 1, victims=2)
+    tracer.site_recover(12.0, 1)
+    assert tracer.emitted == 26
+    for event in tracer.events:
+        assert event.kind in EVENT_KINDS, event.kind
+
+
+def test_lock_block_snapshots_holders_as_plain_data():
+    class Holder:
+        tid = 11
+        priority = -9.0
+
+    class Waiter:
+        tid = 12
+        site = 0
+        priority = -2.0
+
+    tracer = Tracer()
+    tracer.lock_block(1.0, Waiter(), 5, "W", "ceiling", [Holder()])
+    data = tracer.events[0].data
+    assert data["holders"] == [[11, -9.0]]
+    assert data["waiter_priority"] == -2.0
+    assert data["cause"] == "ceiling"
+
+
+# ----------------------------------------------------------------------
+# activation
+# ----------------------------------------------------------------------
+def test_install_and_context_manager():
+    assert current_tracer() is None
+    tracer = Tracer()
+    with tracing(tracer) as active:
+        assert active is tracer
+        assert current_tracer() is tracer
+        inner = Tracer()
+        with tracing(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+# ----------------------------------------------------------------------
+# hardened legacy kernel trace callback (satellite 1)
+# ----------------------------------------------------------------------
+def _body():
+    yield Delay(1.0)
+
+
+def test_legacy_trace_callback_still_sees_kernel_events():
+    seen = []
+    kernel = Kernel(trace=lambda t, kind, process, detail:
+                    seen.append((t, kind, process.name)))
+    kernel.spawn(_body(), "worker")
+    kernel.run()
+    kinds = [kind for __, kind, ___ in seen]
+    assert "spawn" in kinds
+    assert "terminate" in kinds
+    assert all(name == "worker" for __, ___, name in seen)
+    assert kernel.trace_errors == 0
+
+
+def test_raising_legacy_callback_is_guarded_and_counted():
+    def bad_hook(t, kind, process, detail):
+        raise RuntimeError("observer crashed")
+
+    kernel = Kernel(trace=bad_hook)
+    process = kernel.spawn(_body(), "worker")
+    end = kernel.run()
+    # The run completed despite the raising hook...
+    assert process.terminated
+    assert end == 1.0
+    # ...and every swallowed exception was counted and recorded.
+    assert kernel.trace_errors > 0
+    errors = [event for event in kernel.tracer.events
+              if event.kind == "trace_error"]
+    assert len(errors) == kernel.trace_errors
+    assert "observer crashed" in errors[0].data["error"]
+
+
+def test_kernel_prefers_installed_tracer_and_forwards_legacy():
+    tracer = Tracer()
+    seen = []
+    with tracing(tracer):
+        kernel = Kernel(trace=lambda *args: seen.append(args))
+        assert kernel.tracer is tracer
+        kernel.spawn(_body(), "worker")
+        kernel.run()
+    assert seen  # the legacy hook still fires
+    assert any(event.kind == "spawn" for event in tracer.events)
+
+
+def test_untraced_kernel_emits_nothing():
+    kernel = Kernel()
+    assert kernel.tracer is None
+    kernel.spawn(_body(), "worker")
+    kernel.run()
+    assert kernel.trace_errors == 0
