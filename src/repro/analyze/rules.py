@@ -513,6 +513,161 @@ class AdHocTraceOutputRule(Rule):
                         "Tracer events (repro.trace)")
 
 
+def _not_none_guards(test: ast.AST) -> Set[str]:
+    """Expressions proven non-None when ``test`` is true."""
+    guards: Set[str] = set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for value in test.values:
+            guards |= _not_none_guards(value)
+    elif (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None):
+        guards.add(ast.unparse(test.left))
+    return guards
+
+
+def _none_guards(test: ast.AST) -> Set[str]:
+    """Expressions proven non-None when ``test`` is FALSE (``X is
+    None`` tests: the else branch / fallthrough has X non-None)."""
+    guards: Set[str] = set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        for value in test.values:
+            guards |= _none_guards(value)
+    elif (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None):
+        guards.add(ast.unparse(test.left))
+    return guards
+
+
+class UnguardedTracerRule(Rule):
+    """RPL008: tracer event emitted without an ``is not None`` guard.
+
+    The observability contract of the hot layers is *zero cost when
+    tracing is off*: components store the ambient tracer (or None) at
+    construction and every hook site must be a single ``is not None``
+    test before any event-argument construction.  An unguarded
+    ``<x>.tracer.<event>(...)`` either crashes on None or — worse —
+    forces a tracer to exist, making every run pay event-building cost.
+    The rule tracks guard scopes lexically: ``if t is not None:``
+    bodies, ``and``-chains, ternaries, and early-return ``if t is
+    None:`` blocks all count.
+    """
+
+    code = "RPL008"
+    name = "unguarded-tracer-call"
+    #: Directory names this rule patrols (the hot simulation layers).
+    scoped_parts = ("cc", "dist", "kernel")
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        self._scan_block(tree.body, set(), path, findings)
+        return iter(findings)
+
+    # -- statement walk, threading the guarded-expression set ----------
+    def _scan_block(self, stmts, guarded: Set[str], path: str,
+                    findings: List[Finding]) -> None:
+        guarded = set(guarded)
+        for stmt in stmts:
+            self._scan_stmt(stmt, guarded, path, findings)
+            if (isinstance(stmt, ast.If) and not stmt.orelse
+                    and stmt.body
+                    and isinstance(stmt.body[-1],
+                                   (ast.Return, ast.Raise,
+                                    ast.Continue, ast.Break))):
+                # `if x is None: return` — x is non-None below.
+                guarded |= _none_guards(stmt.test)
+
+    def _scan_stmt(self, stmt, guarded: Set[str], path: str,
+                   findings: List[Finding]) -> None:
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, guarded, path, findings)
+            self._scan_block(stmt.body,
+                             guarded | _not_none_guards(stmt.test),
+                             path, findings)
+            self._scan_block(stmt.orelse,
+                             guarded | _none_guards(stmt.test),
+                             path, findings)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            # Deferred (or new) scope: outer guards do not hold inside.
+            self._scan_block(stmt.body, set(), path, findings)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, guarded, path, findings)
+            self._scan_block(stmt.body, guarded, path, findings)
+            self._scan_block(stmt.orelse, guarded, path, findings)
+        elif isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, guarded, path, findings)
+            self._scan_block(stmt.body,
+                             guarded | _not_none_guards(stmt.test),
+                             path, findings)
+            self._scan_block(stmt.orelse, guarded, path, findings)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, guarded, path,
+                                findings)
+            self._scan_block(stmt.body, guarded, path, findings)
+        elif isinstance(stmt, ast.Try):
+            self._scan_block(stmt.body, guarded, path, findings)
+            for handler in stmt.handlers:
+                self._scan_block(handler.body, guarded, path, findings)
+            self._scan_block(stmt.orelse, guarded, path, findings)
+            self._scan_block(stmt.finalbody, guarded, path, findings)
+        else:
+            self._scan_expr(stmt, guarded, path, findings)
+
+    # -- expression walk (guard-aware for `and` chains and ternaries) --
+    def _scan_expr(self, node, guarded: Set[str], path: str,
+                   findings: List[Finding]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.IfExp):
+            self._scan_expr(node.test, guarded, path, findings)
+            self._scan_expr(node.body,
+                            guarded | _not_none_guards(node.test),
+                            path, findings)
+            self._scan_expr(node.orelse,
+                            guarded | _none_guards(node.test),
+                            path, findings)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            accumulated = set(guarded)
+            for value in node.values:
+                self._scan_expr(value, accumulated, path, findings)
+                accumulated |= _not_none_guards(value)
+            return
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute):
+            key = self._tracer_key(node.func.value)
+            if key is not None and key not in guarded:
+                findings.append(self.finding(
+                    path, node,
+                    f"tracer call {key}.{node.func.attr}(...) outside "
+                    f"an 'if {key} is not None:' guard; trace hooks in "
+                    f"hot layers must be zero-cost when tracing is off"))
+        for child in ast.iter_child_nodes(node):
+            self._scan_expr(child, guarded, path, findings)
+
+    @staticmethod
+    def _tracer_key(base: ast.AST):
+        """Canonical key if ``base`` looks like a tracer reference."""
+        if isinstance(base, ast.Name):
+            if base.id == "tracer" or base.id.endswith("_tracer"):
+                return base.id
+        elif isinstance(base, ast.Attribute):
+            if base.attr == "tracer" or base.attr.endswith("_tracer"):
+                return ast.unparse(base)
+        return None
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -522,6 +677,7 @@ DEFAULT_RULES = (
     FingerprintSafetyRule(),
     MutableDefaultRule(),
     AdHocTraceOutputRule(),
+    UnguardedTracerRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -533,4 +689,5 @@ RULE_INDEX = {
     "RPL005": "fingerprint-unsafe config dataclass field",
     "RPL006": "mutable default argument",
     "RPL007": "print()/logging in protocol or dist modules",
+    "RPL008": "tracer event call outside an 'is not None' guard",
 }

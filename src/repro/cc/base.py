@@ -129,6 +129,10 @@ class ConcurrencyControl:
         self.kernel = kernel
         self.locks = LockTable()
         self.waiting: List[Request] = []
+        #: oid -> waiting requests on that object, in enqueue order —
+        #: the per-object lock queue (same relative order as
+        #: ``waiting``).  Maintained by _enqueue/_dequeue only.
+        self._waiting_by_oid: dict = {}
         self.stats = CCStats()
         self._seq = itertools.count()
         #: Transactions currently carrying inherited priority from us.
@@ -187,7 +191,7 @@ class ConcurrencyControl:
                 cause = "ceiling"
             request = Request(txn, oid, mode, process, next(self._seq),
                               kernel.now)
-            self.waiting.append(request)
+            self._enqueue(request)
             process.blocker = _RequestBlocker(self, request)
             if self.sanitizer is not None:
                 self.sanitizer.on_block(txn, oid, mode)
@@ -239,7 +243,7 @@ class ConcurrencyControl:
                           process if process is not None else txn.process,
                           next(self._seq), self.kernel.now,
                           on_grant=on_grant)
-        self.waiting.append(request)
+        self._enqueue(request)
         if self.sanitizer is not None:
             self.sanitizer.on_block(txn, oid, mode)
         if tracer is not None:
@@ -256,7 +260,7 @@ class ConcurrencyControl:
         stale = [request for request in self.waiting
                  if request.txn is txn and request.on_grant is not None]
         for request in stale:
-            self.waiting.remove(request)
+            self._dequeue(request)
             if self.tracer is not None:
                 self.tracer.lock_withdraw(self.kernel.now, request.txn,
                                           request.oid)
@@ -329,7 +333,7 @@ class ConcurrencyControl:
 
     def _grant_waiter(self, request: Request) -> None:
         self.locks.grant(request.oid, request.txn, request.mode)
-        self.waiting.remove(request)
+        self._dequeue(request)
         if self.sanitizer is not None:
             self.sanitizer.on_grant(request.txn, request.oid,
                                     request.mode, waited=True)
@@ -345,11 +349,22 @@ class ConcurrencyControl:
     def _withdraw(self, request: Request) -> None:
         """Interrupt cleanup: the waiter leaves the wait set."""
         if request in self.waiting:
-            self.waiting.remove(request)
+            self._dequeue(request)
             if self.tracer is not None:
                 self.tracer.lock_withdraw(self.kernel.now, request.txn,
                                           request.oid)
         self._reevaluate()
+
+    def _enqueue(self, request: Request) -> None:
+        self.waiting.append(request)
+        self._waiting_by_oid.setdefault(request.oid, []).append(request)
+
+    def _dequeue(self, request: Request) -> None:
+        self.waiting.remove(request)
+        queue = self._waiting_by_oid[request.oid]
+        queue.remove(request)
+        if not queue:
+            del self._waiting_by_oid[request.oid]
 
     # ------------------------------------------------------------------
     # inheritance plumbing shared by PI and ceiling protocols

@@ -62,12 +62,19 @@ class PriorityCeiling(ConcurrencyControl):
         self._writers: Dict[int, Set[Transaction]] = {}
         #: oid -> active transactions declaring any access to it.
         self._accessors: Dict[int, Set[Transaction]] = {}
+        #: Barrier index cache: sorted (-ceiling, table_seq, oid) over
+        #: locked oids, valid for one (lock-table, active-set) version
+        #: pair.  See _barrier_entries.
+        self._entries: list = []
+        self._entries_version = (-1, -1)
+        self._active_version = 0
 
     # ------------------------------------------------------------------
     # active set maintenance (drives the static ceilings)
     # ------------------------------------------------------------------
     def register(self, txn: Transaction) -> None:
         super().register(txn)
+        self._active_version += 1
         self.active.add(txn)
         write_set = (txn.access_set if self.exclusive_only
                      else txn.write_set)
@@ -80,6 +87,7 @@ class PriorityCeiling(ConcurrencyControl):
                                       self._active_ceiling())
 
     def deregister(self, txn: Transaction) -> None:
+        self._active_version += 1
         self.active.discard(txn)
         for index in (self._writers, self._accessors):
             for oid in txn.access_set:
@@ -125,22 +133,44 @@ class PriorityCeiling(ConcurrencyControl):
             return self.absolute_ceiling(oid)
         return self.write_ceiling(oid)
 
+    def _barrier_entries(self) -> list:
+        """Sorted (-ceiling, table_seq, oid) over all locked oids with a
+        ceiling, rebuilt only when lock state or the active set changed.
+
+        Both static ceilings depend solely on the registered
+        transactions' declared sets and (immutable) priorities, and the
+        rw selection solely on the lock table, so the
+        (table version, active-set version) pair fully keys the index.
+        Ordering parity with the historical per-request scan: that scan
+        kept the *first* oid in table-iteration order whose ceiling was
+        *strictly* greater than any before it — i.e. among the maximal
+        ceilings, the lowest table insertion seq — which is exactly the
+        head of this sort order once self-held-only entries are skipped.
+        """
+        version = (self.locks.version, self._active_version)
+        if self._entries_version != version:
+            rw_ceiling = self.rw_ceiling
+            entries = []
+            for oid in self.locks.locked_oids():
+                ceiling = rw_ceiling(oid)
+                if ceiling is not None:
+                    entries.append(
+                        (-ceiling, self.locks.record_seq(oid), oid))
+            entries.sort()
+            self._entries = entries
+            self._entries_version = version
+        return self._entries
+
     def _ceiling_barrier(self, txn: Transaction):
         """(ceiling, oid) of the highest rw-ceiling among objects locked
         by transactions other than ``txn``; (None, None) if no such
         object or none of them has a ceiling."""
-        best: Optional[float] = None
-        best_oid: Optional[int] = None
-        for oid in self.locks.locked_oids():
-            holders = self.locks.holders(oid)
-            if not any(holder is not txn for holder in holders):
-                continue
-            ceiling = self.rw_ceiling(oid)
-            if ceiling is None:
-                continue
-            if best is None or ceiling > best:
-                best, best_oid = ceiling, oid
-        return best, best_oid
+        holder_map = self.locks.holder_map
+        for neg_ceiling, __, oid in self._barrier_entries():
+            for holder in holder_map(oid):
+                if holder is not txn:
+                    return -neg_ceiling, oid
+        return None, None
 
     # ------------------------------------------------------------------
     # admission

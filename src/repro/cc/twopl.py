@@ -53,10 +53,16 @@ class TwoPhaseLocking(ConcurrencyControl):
 
     def _queue_blocks(self, txn: Transaction, oid: int) -> bool:
         """Fairness: a request may not jump waiters 'ahead' of it on the
-        same object.  Being ahead depends on the queue policy."""
+        same object.  Being ahead depends on the queue policy.
+
+        Only the object's own queue (the per-oid index) is consulted —
+        waiters on other objects can never be 'ahead'."""
+        queue = self._waiting_by_oid.get(oid)
+        if not queue:
+            return False
         own = self._own_request(txn, oid)
-        for request in self.waiting:
-            if request.oid != oid or request.txn is txn:
+        for request in queue:
+            if request.txn is txn:
                 continue
             if self._ahead_of(request, own, txn):
                 return True
@@ -64,8 +70,8 @@ class TwoPhaseLocking(ConcurrencyControl):
 
     def _own_request(self, txn: Transaction,
                      oid: int) -> Optional[Request]:
-        for request in self.waiting:
-            if request.txn is txn and request.oid == oid:
+        for request in self._waiting_by_oid.get(oid, ()):
+            if request.txn is txn:
                 return request
         return None
 
@@ -113,7 +119,7 @@ class TwoPhaseLocking(ConcurrencyControl):
         if victim is request.txn:
             # Abort the requester in-line: undo the enqueue, then raise;
             # the kernel delivers the interrupt into its generator.
-            self.waiting.remove(request)
+            self._dequeue(request)
             request.process.blocker = None
             raise DeadlockAbort(f"deadlock cycle "
                                 f"{[t.tid for t in cycle]}")
@@ -145,11 +151,12 @@ class TwoPhaseLocking(ConcurrencyControl):
     def _waits_for(self):
         graph = build_waits_for(self.waiting, self.locks)
         # Queue-order waits are waits too: without these edges a cycle
-        # closed through a fairness wait would go undetected.
+        # closed through a fairness wait would go undetected.  The
+        # per-oid index preserves enqueue order, so the edges come out
+        # identical to the historical all-pairs scan.
         for request in self.waiting:
-            for other in self.waiting:
-                if (other.oid == request.oid
-                        and other.txn is not request.txn
+            for other in self._waiting_by_oid.get(request.oid, ()):
+                if (other.txn is not request.txn
                         and self._ahead_of(other, request, request.txn)):
                     graph.add_edges(request.txn, [other.txn])
         return graph

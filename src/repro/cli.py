@@ -153,13 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
-    choices = list(COMMANDS) + ["all", "lint", "faults", "run", "trace"]
+    choices = list(COMMANDS) + ["all", "lint", "faults", "run", "trace",
+                                "bench"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
                              "('all' runs everything; 'lint' runs the "
                              "static analyzer; 'faults' manages fault "
                              "plans; 'run' runs one distributed sweep "
-                             "point; 'trace' inspects trace artifacts "
+                             "point; 'trace' inspects trace artifacts; "
+                             "'bench' runs the hot-path microbenchmarks "
                              "— see 'repro <cmd> -h')")
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
@@ -356,6 +358,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(raw[1:])
     if raw and raw[0] == "run":
         return _run_main(raw[1:])
+    if raw and raw[0] == "bench":
+        from .bench.micro import main as bench_main
+        return bench_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)

@@ -10,12 +10,19 @@ the protocol module).
 
 Owners are opaque hashables (the transaction objects of
 :mod:`repro.txn.transaction`, but the table never looks inside them).
+
+Hot-path design: each locked object is a slotted :class:`_LockRecord`
+carrying a writer count (O(1) ``write_locked``) and an insertion
+sequence number.  ``version`` increments on every state transition, so
+protocol layers can cache derived views (the ceiling protocol's barrier
+index) and invalidate with a single integer compare.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Hashable, Iterator, List, Optional, Set
+from typing import (Any, Dict, Hashable, Iterator, List, Mapping,
+                    Optional, Set)
 
 
 class LockMode(enum.Enum):
@@ -37,14 +44,46 @@ class LockError(Exception):
     runtime condition, so it is an assertion-style failure."""
 
 
+class _LockRecord:
+    """Per-object lock state.
+
+    ``writers`` counts WRITE-mode holders (0 or 1 under two-mode
+    compatibility, but counted rather than flagged so release never has
+    to rescan).  ``seq`` is the order the object entered the table —
+    protocol layers use it to reproduce table-iteration tie-breaks
+    without iterating.
+    """
+
+    __slots__ = ("holders", "writers", "seq")
+
+    def __init__(self, seq: int) -> None:
+        self.holders: Dict[Hashable, LockMode] = {}
+        self.writers = 0
+        self.seq = seq
+
+
+_EMPTY: Dict[Hashable, LockMode] = {}
+
+
 class LockTable:
-    """Holders per object, with upgrade-aware compatibility checks."""
+    """Holders per object, with upgrade-aware compatibility checks.
+
+    No ``__slots__`` here on purpose: the validation layer
+    (:mod:`repro.core.validate`) wraps ``grant``/``release`` on table
+    *instances*, and there is exactly one table per site anyway — the
+    per-object :class:`_LockRecord` is the allocation that matters.
+    """
 
     def __init__(self) -> None:
-        #: oid -> {owner: mode}
-        self._holders: Dict[int, Dict[Hashable, LockMode]] = {}
+        #: oid -> live _LockRecord (removed as soon as it empties, so
+        #: iteration order == insertion order of *currently* locked oids).
+        self._records: Dict[int, _LockRecord] = {}
         #: owner -> set of oids it holds (reverse index)
         self._held_by: Dict[Hashable, Set[int]] = {}
+        self._seq = 0
+        #: Bumped on every grant/release; cache-invalidation stamp for
+        #: derived views held by protocol layers.
+        self.version = 0
         #: Sanitizer hook (see :mod:`repro.analyze.invariants`): when
         #: set, ``on_table_grant``/``on_table_release`` fire after every
         #: state transition, catching corruption that slips past the
@@ -56,28 +95,43 @@ class LockTable:
     # ------------------------------------------------------------------
     def holders(self, oid: int) -> Dict[Hashable, LockMode]:
         """Current holders of ``oid`` (empty dict if unlocked)."""
-        return dict(self._holders.get(oid, {}))
+        record = self._records.get(oid)
+        return dict(record.holders) if record is not None else {}
+
+    def holder_map(self, oid: int) -> Mapping[Hashable, LockMode]:
+        """Holders of ``oid`` without copying.
+
+        The returned mapping is the live table state — callers must
+        treat it as read-only and must not hold it across transitions.
+        """
+        record = self._records.get(oid)
+        return record.holders if record is not None else _EMPTY
 
     def mode_held(self, oid: int, owner: Hashable) -> Optional[LockMode]:
-        return self._holders.get(oid, {}).get(owner)
+        record = self._records.get(oid)
+        return record.holders.get(owner) if record is not None else None
 
     def is_locked(self, oid: int) -> bool:
-        return bool(self._holders.get(oid))
+        return oid in self._records
 
     def write_locked(self, oid: int) -> bool:
-        return any(mode is LockMode.WRITE
-                   for mode in self._holders.get(oid, {}).values())
+        record = self._records.get(oid)
+        return record is not None and record.writers > 0
+
+    def record_seq(self, oid: int) -> Optional[int]:
+        """Insertion order of a locked oid (None if unlocked)."""
+        record = self._records.get(oid)
+        return record.seq if record is not None else None
 
     def locks_of(self, owner: Hashable) -> Dict[int, LockMode]:
         """All locks held by ``owner`` as {oid: mode}."""
-        return {oid: self._holders[oid][owner]
-                for oid in self._held_by.get(owner, set())}
+        records = self._records
+        return {oid: records[oid].holders[owner]
+                for oid in self._held_by.get(owner, ())}
 
     def locked_oids(self) -> Iterator[int]:
-        """Objects with at least one holder."""
-        for oid, holders in self._holders.items():
-            if holders:
-                yield oid
+        """Objects with at least one holder, in lock-insertion order."""
+        return iter(self._records)
 
     def owners(self) -> Set[Hashable]:
         """All owners currently holding at least one lock."""
@@ -90,20 +144,27 @@ class LockTable:
         Handles re-grant (already holding an equal or stronger mode) and
         the read→write upgrade (allowed only for a sole holder).
         """
-        holders = self._holders.get(oid, {})
+        record = self._records.get(oid)
+        if record is None:
+            return True
+        holders = record.holders
         held = holders.get(owner)
         if held is LockMode.WRITE:
             return True  # already strongest
         if held is LockMode.READ and mode is LockMode.READ:
             return True
-        others = [m for o, m in holders.items() if o is not owner]
-        return all(compatible(m, mode) for m in others)
+        if mode is LockMode.READ:
+            return record.writers == 0
+        # WRITE request: no other holder of any mode may remain.
+        return len(holders) == (1 if held is not None else 0)
 
     def conflicting_holders(self, oid: int, owner: Hashable,
                             mode: LockMode) -> List[Hashable]:
         """Other owners whose held mode conflicts with ``mode``."""
-        holders = self._holders.get(oid, {})
-        return [o for o, m in holders.items()
+        record = self._records.get(oid)
+        if record is None:
+            return []
+        return [o for o, m in record.holders.items()
                 if o is not owner and not compatible(m, mode)]
 
     # ------------------------------------------------------------------
@@ -116,41 +177,57 @@ class LockTable:
             raise LockError(
                 f"grant {mode} on {oid} to {owner!r} conflicts with "
                 f"{self.holders(oid)}")
-        holders = self._holders.setdefault(oid, {})
+        record = self._records.get(oid)
+        if record is None:
+            record = _LockRecord(self._seq)
+            self._seq += 1
+            self._records[oid] = record
+        holders = record.holders
         held = holders.get(owner)
         if held is LockMode.WRITE:
             return  # idempotent: write subsumes everything
-        holders[owner] = (LockMode.WRITE if mode is LockMode.WRITE
-                          else LockMode.READ)
+        if mode is LockMode.WRITE:
+            holders[owner] = LockMode.WRITE
+            record.writers += 1
+        else:
+            holders[owner] = LockMode.READ
         self._held_by.setdefault(owner, set()).add(oid)
+        self.version += 1
         if self.observer is not None:
             self.observer.on_table_grant(oid, owner, holders[owner])
 
     def release(self, oid: int, owner: Hashable) -> None:
         """Release one lock.  Raises :class:`LockError` if not held."""
-        holders = self._holders.get(oid)
-        if not holders or owner not in holders:
+        record = self._records.get(oid)
+        if record is None or owner not in record.holders:
             raise LockError(f"{owner!r} does not hold a lock on {oid}")
-        del holders[owner]
-        if not holders:
-            del self._holders[oid]
+        if record.holders.pop(owner) is LockMode.WRITE:
+            record.writers -= 1
+        if not record.holders:
+            del self._records[oid]
         self._held_by[owner].discard(oid)
         if not self._held_by[owner]:
             del self._held_by[owner]
+        self.version += 1
         if self.observer is not None:
             self.observer.on_table_release(oid, owner)
 
     def release_all(self, owner: Hashable) -> List[int]:
         """Release every lock held by ``owner``; returns the freed oids."""
-        oids = sorted(self._held_by.get(owner, set()))
+        oids = sorted(self._held_by.get(owner, ()))
+        records = self._records
         for oid in oids:
-            holders = self._holders[oid]
-            del holders[owner]
-            if not holders:
-                del self._holders[oid]
+            record = records[oid]
+            if record.holders.pop(owner) is LockMode.WRITE:
+                record.writers -= 1
+            if not record.holders:
+                del records[oid]
         self._held_by.pop(owner, None)
+        if oids:
+            self.version += 1
         return oids
 
     def __len__(self) -> int:
         """Total number of (owner, oid) lock grants outstanding."""
-        return sum(len(holders) for holders in self._holders.values())
+        return sum(len(record.holders)
+                   for record in self._records.values())

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .cache import ResultCache
 from .fingerprint import config_fingerprint, describe_config
 from .units import RunUnit
-from .worker import invoke_unit
+from .worker import invoke_batch, invoke_unit, warm_worker
 
 #: Default retry budget per unit (attempts = retries + 1).
 DEFAULT_RETRIES = 2
@@ -234,16 +234,34 @@ class _PoolInterrupted(Exception):
         self.overdue = set(overdue)   # positions whose attempt failed
 
 
+def _batch_size(run: _Run, n_units: int, jobs: int) -> int:
+    """Units per pool task.
+
+    Batching amortizes the submit/pickle/result round-trip — dominant
+    for small units — but is only safe when nothing needs per-unit
+    attribution inside a task: it is disabled under failure injection
+    and per-unit timeouts.  The heuristic keeps ~4 tasks per worker
+    queued for load balancing; ``REPRO_EXEC_BATCH`` overrides it.
+    """
+    if run.inject is not None or run.timeout is not None:
+        return 1
+    default = max(1, min(8, n_units // (jobs * 4)))
+    return max(1, _resolve_int(None, "REPRO_EXEC_BATCH", default))
+
+
 def run_pool(run: _Run, to_run: Sequence[Tuple[int, int]],
              jobs: int) -> None:
     """Process-pool executor with retry, crash and timeout recovery."""
     pending: deque = deque(to_run)
     retry_heap: List[Tuple[float, int, int]] = []  # (ready, pos, att)
     pool = ProcessPoolExecutor(max_workers=jobs,
-                               mp_context=_pool_context())
-    futures: Dict[object, Tuple[int, int, float]] = {}
+                               mp_context=_pool_context(),
+                               initializer=warm_worker)
+    #: future -> (((pos, attempt), ...), started)
+    futures: Dict[object, Tuple[tuple, float]] = {}
+    batch = _batch_size(run, len(to_run), jobs)
     try:
-        _pool_loop(run, pool, pending, retry_heap, futures, jobs)
+        _pool_loop(run, pool, pending, retry_heap, futures, jobs, batch)
     except (BrokenProcessPool, _PoolInterrupted) as exc:
         run.stats.pool_restarts += 1
         pool.shutdown(wait=False, cancel_futures=True)
@@ -269,19 +287,32 @@ def _pool_context():
 
 
 def _pool_loop(run: _Run, pool, pending, retry_heap, futures,
-               jobs: int) -> None:
+               jobs: int, batch: int) -> None:
     """Drive one pool until all units settle (or it breaks)."""
+    #: Positions recycled from a failed batch run singly so the raise
+    #: is attributed to exactly one unit (and never re-batched).
+    solo: set = set()
     while pending or retry_heap or futures:
         now = time.monotonic()
         while retry_heap and retry_heap[0][0] <= now:
             _, pos, attempt = heapq.heappop(retry_heap)
             pending.append((pos, attempt))
         while pending:
-            pos, attempt = pending.popleft()
-            unit = run.units[pos]
-            future = pool.submit(invoke_unit, unit.index, unit.config,
-                                 attempt, run.inject)
-            futures[future] = (pos, attempt, time.monotonic())
+            entries = [pending.popleft()]
+            if batch > 1 and entries[0][0] not in solo:
+                while (pending and len(entries) < batch
+                       and pending[0][0] not in solo):
+                    entries.append(pending.popleft())
+            if len(entries) == 1:
+                pos, attempt = entries[0]
+                unit = run.units[pos]
+                future = pool.submit(invoke_unit, unit.index,
+                                     unit.config, attempt, run.inject)
+            else:
+                items = [(run.units[pos].index, run.units[pos].config,
+                          attempt) for pos, attempt in entries]
+                future = pool.submit(invoke_batch, items, run.inject)
+            futures[future] = (tuple(entries), time.monotonic())
         run.stats.in_flight = min(len(futures), jobs)
         if not futures:   # only backoff sleeps remain
             time.sleep(max(0.0, min(0.05, retry_heap[0][0] - now)))
@@ -290,23 +321,39 @@ def _pool_loop(run: _Run, pool, pending, retry_heap, futures,
                        return_when=FIRST_COMPLETED)
         now = time.monotonic()
         for future in done:
-            pos, attempt, started = futures.pop(future)
+            entries, started = futures.pop(future)
             run.stats.busy_time += now - started
             try:
-                _, row = future.result()
+                result = future.result()
             except BrokenProcessPool:
                 # Re-file under the broken pool's salvage path so the
-                # triggering unit is handled like its peers.
-                futures[future] = (pos, attempt, started)
+                # triggering unit(s) are handled like their peers.
+                futures[future] = (entries, started)
                 raise
             except Exception as exc:
-                _retry_or_fail(run, pending, retry_heap, pos, attempt,
-                               exc)
+                if len(entries) == 1:
+                    pos, attempt = entries[0]
+                    _retry_or_fail(run, pending, retry_heap, pos,
+                                   attempt, exc)
+                else:
+                    # One member poisoned the whole task; re-file each
+                    # singly (same attempt — innocents are not blamed)
+                    # so the next raise indicts exactly one unit.
+                    for pos, attempt in entries:
+                        solo.add(pos)
+                        pending.append((pos, attempt))
             else:
-                run.settle_success(pos, row)
+                if len(entries) == 1:
+                    run.settle_success(entries[0][0], result[1])
+                else:
+                    for (pos, _), (_, row) in zip(entries, result):
+                        run.settle_success(pos, row)
         if run.timeout is not None:
-            overdue = [pos for future, (pos, _, started)
-                       in futures.items() if now - started > run.timeout]
+            # Batching is disabled whenever a timeout is set, so every
+            # overdue future maps to exactly one unit.
+            overdue = [entries[0][0] for entries, started
+                       in futures.values()
+                       if now - started > run.timeout]
             if overdue:
                 raise _PoolInterrupted(overdue)
 
@@ -337,18 +384,25 @@ def _salvage(run: _Run, futures, pending, exc: BaseException) -> None:
     victims, and the quarantine drain that follows attributes exactly.
     """
     overdue = getattr(exc, "overdue", set())
-    for future, (pos, attempt, _) in futures.items():
-        if (future.done() and not future.cancelled()
-                and future.exception() is None):
-            _, row = future.result()
-            run.settle_success(pos, row)
-        elif pos in overdue:
-            _retry_or_fail(run, pending, None, pos, attempt,
-                           TimeoutError(f"unit exceeded "
-                                        f"{run.timeout}s"),
-                           immediate=True)
-        else:
-            pending.append((pos, attempt))     # unblamed survivor
+    for future, (entries, _) in futures.items():
+        finished = (future.done() and not future.cancelled()
+                    and future.exception() is None)
+        if finished:
+            result = future.result()
+            if len(entries) == 1:
+                run.settle_success(entries[0][0], result[1])
+            else:
+                for (pos, __), (__, row) in zip(entries, result):
+                    run.settle_success(pos, row)
+            continue
+        for pos, attempt in entries:
+            if pos in overdue:
+                _retry_or_fail(run, pending, None, pos, attempt,
+                               TimeoutError(f"unit exceeded "
+                                            f"{run.timeout}s"),
+                               immediate=True)
+            else:
+                pending.append((pos, attempt))  # unblamed survivor
     futures.clear()
 
 
@@ -365,7 +419,8 @@ def _run_quarantine(run: _Run, pending) -> None:
         unit = run.units[pos]
         while True:
             pool = ProcessPoolExecutor(max_workers=1,
-                                       mp_context=_pool_context())
+                                       mp_context=_pool_context(),
+                                       initializer=warm_worker)
             started = time.monotonic()
             run.stats.in_flight = 1
             future = pool.submit(invoke_unit, unit.index, unit.config,

@@ -135,3 +135,27 @@ def invoke_unit(index: int, config, attempt: int = 0,
         "REPRO_EXEC_INJECT")
     _apply_injection(config.seed, attempt, spec)
     return index, execute_config(config)
+
+
+def warm_worker() -> None:
+    """Pool initializer: pay the simulation-stack import at worker
+    start-up (overlapped with the parent still submitting) instead of
+    inside the first unit's timed execution.  Matters on spawn-style
+    platforms; under fork the modules are usually inherited already.
+    """
+    from ..core import experiment          # noqa: F401
+    from ..core import config              # noqa: F401
+
+
+def invoke_batch(items, inject: Optional[str] = None) -> list:
+    """Execute several units in one pool task, amortizing the
+    submit/pickle/result round-trip for small units.
+
+    ``items`` is a sequence of ``(index, config, attempt)``; returns the
+    ``(index, row)`` results in the same order.  Callers only batch
+    units with no injection spec and no per-unit timeout, so a raise
+    here aborts the whole task — the executor re-files the batch's
+    units individually to attribute the failure.
+    """
+    return [invoke_unit(index, config, attempt, inject)
+            for index, config, attempt in items]

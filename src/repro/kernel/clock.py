@@ -12,6 +12,8 @@ from __future__ import annotations
 class Clock:
     """Monotonic virtual clock owned by the kernel."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0):
         self._now = float(start)
 

@@ -11,12 +11,13 @@ where swapping a synchronization protocol touches only its own module.
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Generator, List, Optional
 
 from .clock import Clock
 from .errors import (InvalidProcessState, KernelError, ProcessInterrupt,
                      SimulationOver)
-from .events import Event, EventQueue
+from .events import _SORT_MIN, Event, EventQueue
 from .process import Process, ProcessState
 from .rng import RngStreams
 from .syscalls import BLOCKED, Immediate, SysCall
@@ -87,9 +88,11 @@ class Kernel:
         process = Process(body, name, priority)
         self.processes.append(process)
         process.state = ProcessState.READY
-        process.pending_resume = self.events.schedule(
-            self.now, lambda: self._resume(process, None, None))
-        self._log("spawn", process)
+        process.pending_resume = self.events.schedule_resume(
+            self.clock._now, process)
+        if self.tracer is not None:
+            self.tracer.kernel_event(self.clock._now, "spawn", process,
+                                     None)
         return process
 
     def ready(self, process: Process, value: Any = None,
@@ -104,8 +107,8 @@ class Kernel:
                 f"ready() on non-blocked process {process}")
         process.blocker = None
         process.state = ProcessState.READY
-        process.pending_resume = self.events.schedule(
-            self.now, lambda: self._resume(process, value, exc))
+        process.pending_resume = self.events.schedule_resume(
+            self.clock._now, process, value, exc)
 
     def interrupt(self, process: Process,
                   exc: ProcessInterrupt) -> bool:
@@ -129,9 +132,11 @@ class Kernel:
             process.blocker.withdraw(process)
             process.blocker = None
         process.state = ProcessState.READY
-        process.pending_resume = self.events.schedule(
-            self.now, lambda: self._resume(process, None, exc))
-        self._log("interrupt", process, exc)
+        process.pending_resume = self.events.schedule_resume(
+            self.clock._now, process, None, exc)
+        if self.tracer is not None:
+            self.tracer.kernel_event(self.clock._now, "interrupt",
+                                     process, exc)
         return True
 
     def set_inherited_priority(self, process: Process,
@@ -156,35 +161,137 @@ class Kernel:
 
         Returns the final virtual time.  Re-entrant calls are forbidden
         (model code must not call run from inside a process).
+
+        This is the hottest loop in the repository: the peek/pop pair
+        and the clock advance are inlined into direct heap and slot
+        accesses (the queue's tuple order guarantees non-decreasing
+        times, so the monotonicity check of ``Clock.advance_to`` is
+        redundant here), and process resumes read their arguments off
+        the event instead of calling through a per-event closure.
+
+        A deep pre-built backlog (bulk-scheduled arrivals) is sorted
+        once into the queue's drain list and consumed with O(1) tail
+        pops; events scheduled *during* dispatch land in the now-tiny
+        heap and are min-merged by one tuple comparison per step.
         """
         if self._dispatching:
             raise SimulationOver("Kernel.run is not re-entrant")
         self._dispatching = True
+        events = self.events
+        if len(events._heap) >= _SORT_MIN:
+            events._sort_backlog()
+        # Both aliases are stable: compaction and backlog sorting
+        # mutate the lists in place, never rebind them.
+        heap = events._heap
+        drain = events._sorted
+        clock = self.clock
+        resume = self._resume
         try:
-            while True:
-                next_time = self.events.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
-                    break
-                event = self.events.pop()
-                self.clock.advance_to(event.time)
-                event.callback()
+            if until is None:
+                while drain:
+                    if heap and heap[0] < drain[-1]:
+                        entry = heappop(heap)
+                    else:
+                        entry = drain.pop()
+                    event = entry[3]
+                    if event.cancelled:
+                        events._dead -= 1
+                        continue
+                    clock._now = entry[0]
+                    callback = event.callback
+                    if callback is not None:
+                        callback()
+                    else:
+                        resume(event.process, event.value, event.exc)
+                # Drain-everything loop: pop unconditionally (nothing
+                # can outlive an unbounded run, so no peek needed).
+                while heap:
+                    entry = heappop(heap)
+                    event = entry[3]
+                    if event.cancelled:
+                        events._dead -= 1
+                        continue
+                    clock._now = entry[0]
+                    callback = event.callback
+                    if callback is not None:
+                        callback()
+                    else:
+                        resume(event.process, event.value, event.exc)
+            else:
+                while drain:
+                    if heap and heap[0] < drain[-1]:
+                        entry = heap[0]
+                        from_heap = True
+                    else:
+                        entry = drain[-1]
+                        from_heap = False
+                    event = entry[3]
+                    if event.cancelled:
+                        if from_heap:
+                            heappop(heap)
+                        else:
+                            drain.pop()
+                        events._dead -= 1
+                        continue
+                    if entry[0] > until:
+                        # The overall-next event is past the horizon,
+                        # so the heap loop below breaks immediately
+                        # too — no live event is misordered.
+                        break
+                    if from_heap:
+                        heappop(heap)
+                    else:
+                        drain.pop()
+                    clock._now = entry[0]
+                    callback = event.callback
+                    if callback is not None:
+                        callback()
+                    else:
+                        resume(event.process, event.value, event.exc)
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        events._dead -= 1
+                        continue
+                    if entry[0] > until:
+                        break
+                    heappop(heap)
+                    clock._now = entry[0]
+                    callback = event.callback
+                    if callback is not None:
+                        callback()
+                    else:
+                        resume(event.process, event.value, event.exc)
         finally:
             self._dispatching = False
-        if until is not None and self.now < until:
-            self.clock.advance_to(until)
-        return self.now
+        if until is not None and clock._now < until:
+            clock.advance_to(until)
+        return clock._now
 
     def step(self) -> bool:
-        """Dispatch a single event; returns False when the queue is empty."""
-        event = self.events.pop()
-        if event is None:
-            return False
-        self.clock.advance_to(event.time)
-        event.callback()
-        return True
+        """Dispatch a single event; returns False when the queue is empty.
+
+        Guarded against re-entrant use exactly like :meth:`run` — a
+        step from inside a dispatching event callback would corrupt the
+        clock/queue invariants the same way a nested run would.
+        """
+        if self._dispatching:
+            raise SimulationOver("Kernel.step is not re-entrant")
+        self._dispatching = True
+        try:
+            event = self.events.pop()
+            if event is None:
+                return False
+            self.clock.advance_to(event.time)
+            if event.callback is not None:
+                event.callback()
+            else:
+                self._resume(event.process, event.value, event.exc)
+            return True
+        finally:
+            self._dispatching = False
 
     # ------------------------------------------------------------------
     # internals
@@ -241,14 +348,12 @@ class Kernel:
         process.result = result
         process.exception = exception
         process.generator.close()
-        self._log("terminate", process, exception)
+        if self.tracer is not None:
+            self.tracer.kernel_event(self.clock._now, "terminate",
+                                     process, exception)
         joiners, process.joiners = process.joiners, []
         for joiner in joiners:
             if exception is not None:
                 self.ready(joiner, exc=exception)
             else:
                 self.ready(joiner, value=result)
-
-    def _log(self, kind: str, process: Process, detail: Any = None) -> None:
-        if self.tracer is not None:
-            self.tracer.kernel_event(self.now, kind, process, detail)

@@ -43,6 +43,11 @@ class Process:
     Do not instantiate directly; use :meth:`Kernel.spawn`.
     """
 
+    __slots__ = ("pid", "name", "generator", "base_priority",
+                 "inherited_priority", "state", "blocker",
+                 "pending_resume", "joiners", "result", "exception",
+                 "payload")
+
     def __init__(self, generator: Generator, name: str,
                  priority: float = 0.0):
         self.pid: int = next(_pid_counter)

@@ -43,6 +43,8 @@ BLOCKED = _Blocked()
 class SysCall:
     """Base class for yieldable system calls."""
 
+    __slots__ = ()
+
     def apply(self, kernel: "Kernel", process: Process):  # noqa: F821
         raise NotImplementedError
 
@@ -55,6 +57,8 @@ class Delay(SysCall):
     all use delays.  For time spent on a contended resource, use the
     resource's ``use`` syscall instead.
     """
+
+    __slots__ = ("duration",)
 
     def __init__(self, duration: float):
         if duration < 0:
@@ -89,6 +93,8 @@ class _DelayBlocker:
 class Spawn(SysCall):
     """Create a child process; returns the new :class:`Process`."""
 
+    __slots__ = ("body", "name", "priority")
+
     def __init__(self, body: Generator, name: str, priority: float = 0.0):
         self.body = body
         self.name = name
@@ -104,6 +110,8 @@ class Join(SysCall):
 
     If the target raised, the exception is re-raised in the joiner.
     """
+
+    __slots__ = ("target",)
 
     def __init__(self, target: Process):
         self.target = target
@@ -140,6 +148,8 @@ class Call(SysCall):
     and lock managers use to implement their own blocking behaviour.
     """
 
+    __slots__ = ("fn", "label")
+
     def __init__(self, fn: Callable, label: str = "call"):
         self.fn = fn
         self.label = label
@@ -153,6 +163,8 @@ class Call(SysCall):
 
 class Now(SysCall):
     """Return the current virtual time (convenience)."""
+
+    __slots__ = ()
 
     def apply(self, kernel, process):
         return Immediate(kernel.now)

@@ -347,6 +347,95 @@ def test_rpl007_real_cc_and_dist_packages_are_clean():
 
 
 # ----------------------------------------------------------------------
+# RPL008 — unguarded tracer calls in hot layers
+# ----------------------------------------------------------------------
+def test_rpl008_flags_unguarded_tracer_call():
+    findings = lint("""
+        def grant(self, request):
+            self.tracer.lock_grant(self.kernel.now, request.txn,
+                                   request.oid)
+    """, path="src/repro/cc/base.py")
+    assert codes(findings) == ["RPL008"]
+    assert "self.tracer" in findings[0].message
+
+
+def test_rpl008_silent_inside_is_not_none_guard():
+    findings = lint("""
+        def grant(self, request):
+            if self.tracer is not None:
+                self.tracer.lock_grant(self.kernel.now, request.txn)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.lock_release(self.kernel.now, request.txn, [])
+    """, path="src/repro/cc/base.py")
+    assert findings == []
+
+
+def test_rpl008_guard_does_not_leak_past_its_branch():
+    findings = lint("""
+        def grant(self, request):
+            if self.tracer is not None:
+                pass
+            self.tracer.lock_grant(self.kernel.now, request.txn)
+    """, path="src/repro/kernel/kernel.py")
+    assert codes(findings) == ["RPL008"]
+
+
+def test_rpl008_accepts_early_return_guard():
+    findings = lint("""
+        def emit(self, event):
+            if self.tracer is None:
+                return
+            self.tracer.kernel_event(0.0, "spawn", event, None)
+    """, path="src/repro/kernel/kernel.py")
+    assert findings == []
+
+
+def test_rpl008_accepts_and_chain_and_ternary():
+    findings = lint("""
+        def emit(self, txn, on):
+            result = (self.tracer.snapshot(txn)
+                      if self.tracer is not None else None)
+            ok = on and self.tracer is not None and \\
+                self.tracer.enabled(txn)
+            return result, ok
+    """, path="src/repro/dist/network.py")
+    assert findings == []
+
+
+def test_rpl008_guard_does_not_cover_nested_function():
+    findings = lint("""
+        def arm(self):
+            if self.tracer is not None:
+                def later():
+                    self.tracer.kernel_event(0.0, "fire", None, None)
+                return later
+    """, path="src/repro/kernel/kernel.py")
+    assert codes(findings) == ["RPL008"]
+
+
+def test_rpl008_scoped_to_hot_layers_only():
+    source = """
+        def report(self, row):
+            self.tracer.flush(row)
+    """
+    assert codes(lint(source, path="src/repro/trace/export.py")) == []
+    assert codes(lint(source, path="tests/kernel/test_kernel.py")) == []
+
+
+def test_rpl008_real_hot_packages_are_clean():
+    from pathlib import Path
+    import repro.cc as cc_pkg
+    import repro.dist as dist_pkg
+    import repro.kernel as kernel_pkg
+    engine = LintEngine(DEFAULT_RULES, select=["RPL008"])
+    for pkg in (cc_pkg, dist_pkg, kernel_pkg):
+        for module_path in sorted(
+                Path(pkg.__file__).parent.glob("*.py")):
+            assert engine.check_file(module_path) == [], module_path
+
+
+# ----------------------------------------------------------------------
 # engine behaviour
 # ----------------------------------------------------------------------
 def test_noqa_with_code_suppresses_only_that_code():

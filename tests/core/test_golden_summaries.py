@@ -1,0 +1,58 @@
+"""Determinism-under-optimization: bitwise golden summary pins.
+
+The golden files were generated from the *pre-optimization* simulation
+core (see ``golden_scenarios.py``).  Every hot-path optimization — the
+closure-free kernel dispatch, the incremental ceiling bookkeeping, the
+lock-table records — must leave these summaries bitwise identical: any
+drift in any key fails here with the exact key named.
+
+Each scenario runs **twice** in one process, which additionally catches
+hidden global state (a cache warmed by the first run changing the
+second would break the exec engine's fingerprint contract).
+"""
+
+import math
+
+import pytest
+
+from .golden_scenarios import SCENARIOS, load_golden, run_scenario
+
+
+def _diff(golden: dict, got: dict) -> list:
+    """Key-by-key comparison; returns human-readable mismatches."""
+    problems = []
+    for key in sorted(set(golden) | set(got)):
+        if key not in golden:
+            problems.append(f"unexpected new key {key!r} = {got[key]!r}")
+        elif key not in got:
+            problems.append(f"missing key {key!r} "
+                            f"(golden: {golden[key]!r})")
+        else:
+            expected, actual = golden[key], got[key]
+            same = (expected == actual
+                    or (isinstance(expected, float)
+                        and isinstance(actual, float)
+                        and math.isnan(expected) and math.isnan(actual)))
+            if not same:
+                problems.append(f"{key}: golden {expected!r} != "
+                                f"run {actual!r}")
+    return problems
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_summary_matches_pre_optimization_golden(name):
+    golden = load_golden(name)
+    problems = _diff(golden, run_scenario(name))
+    assert not problems, (
+        f"scenario {name} drifted from the pre-optimization golden:\n  "
+        + "\n  ".join(problems))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_summary_is_repeatable_in_process(name):
+    first = run_scenario(name)
+    second = run_scenario(name)
+    problems = _diff(first, second)
+    assert not problems, (
+        f"scenario {name} is not repeatable within one process:\n  "
+        + "\n  ".join(problems))
