@@ -42,6 +42,14 @@ failure mode in this repository:
   :class:`repro.trace.tracer.Tracer` (typed events, deterministic,
   zero-perturbation), and ad-hoc output either corrupts the CLI's
   table contract or depends on process-global logging configuration.
+- **RPL009 — re-declared blocking-category literal.**  The blocking
+  taxonomy (``direct``/``ceiling``/``network``/``other``) is a
+  cross-layer contract shared by the protocols (classification), the
+  trace layer (measured decomposition) and the analytic model
+  (predicted decomposition); :mod:`repro.constants` is its single
+  source of truth.  A re-declared string literal in those layers is a
+  drift waiting to happen — one typo and a measured category silently
+  stops matching its prediction.
 
 Each rule reports ``(code, line, col, message)`` findings through the
 engine; suppress a deliberate occurrence with ``# noqa: <code>``.
@@ -52,6 +60,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Set
 
+from ..constants import BLOCKING_CATEGORIES
 from .engine import Finding
 
 #: Wall-clock functions of the ``time`` module (monotonic and
@@ -668,6 +677,46 @@ class UnguardedTracerRule(Rule):
         return None
 
 
+class BlockingTaxonomyRule(Rule):
+    """RPL009: blocking-category string literal re-declared in a layer
+    that must source the taxonomy from :mod:`repro.constants`.
+
+    Flags any string constant spelled exactly like one of the
+    :data:`repro.constants.BLOCKING_CATEGORIES` names inside the
+    protocol, trace or model layers.  Those layers classify, measure
+    and predict the *same* categories; the only way the three stay
+    interchangeable is if every occurrence references the shared
+    constant instead of respelling it.
+    """
+
+    code = "RPL009"
+    name = "blocking-category-literal"
+    #: Directory names this rule patrols (the layers sharing the
+    #: blocking taxonomy).
+    scoped_parts = ("model", "trace", "cc")
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, str):
+                continue
+            if node.value not in BLOCKING_CATEGORIES:
+                continue
+            yield self.finding(
+                path, node,
+                f"blocking-category literal {node.value!r} re-declared; "
+                f"use the shared constant BLOCKING_"
+                f"{node.value.upper()} from repro.constants so the "
+                f"protocol, trace and model layers cannot drift")
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -678,6 +727,7 @@ DEFAULT_RULES = (
     MutableDefaultRule(),
     AdHocTraceOutputRule(),
     UnguardedTracerRule(),
+    BlockingTaxonomyRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -690,4 +740,5 @@ RULE_INDEX = {
     "RPL006": "mutable default argument",
     "RPL007": "print()/logging in protocol or dist modules",
     "RPL008": "tracer event call outside an 'is not None' guard",
+    "RPL009": "re-declared blocking-category string literal",
 }

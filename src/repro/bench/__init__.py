@@ -20,6 +20,7 @@ from .figures import (FIG4_DELAYS, FIG5_DELAYS, FIG6_DELAYS,
                       format_fig5, format_fig6, run_fig2_fig3,
                       run_fig4, run_fig5, run_fig6,
                       single_site_config)
+from .model_vs_sim import format_model_vs_sim, run_model_vs_sim
 
 __all__ = [
     "FIG23_SIZES",
@@ -37,6 +38,7 @@ __all__ = [
     "format_fig6",
     "format_inheritance",
     "format_io_models",
+    "format_model_vs_sim",
     "format_rw_vs_exclusive",
     "format_snapshot_reads",
     "format_temporal",
@@ -52,6 +54,7 @@ __all__ = [
     "run_fig6",
     "run_inheritance_vs_ceiling",
     "run_io_models",
+    "run_model_vs_sim",
     "run_rw_vs_exclusive",
     "run_snapshot_reads",
     "run_temporal_staleness",

@@ -324,6 +324,24 @@ def _comparable_rate(entry: dict, other: dict) -> Tuple[float, float,
     return entry["ops_per_sec"], other["ops_per_sec"], False
 
 
+def missing_gated(old: dict, new: dict,
+                  gated: Sequence[str]) -> List[str]:
+    """Gated benchmarks absent from either document.
+
+    Each entry reads ``name (missing from: old)`` etc.  A gate on a
+    benchmark neither document contains can never fire, so the CLI
+    refuses such comparisons (exit 3) instead of silently passing.
+    """
+    messages = []
+    for name in gated:
+        absent = [label for label, doc in (("old", old), ("new", new))
+                  if name not in doc["results"]]
+        if absent:
+            messages.append(f"{name} (missing from: "
+                            f"{', '.join(absent)})")
+    return messages
+
+
 def compare_docs(old: dict, new: dict,
                  gated: Sequence[str] = DEFAULT_GATED,
                  threshold: float = 0.2) -> Tuple[str, List[str]]:
@@ -332,7 +350,9 @@ def compare_docs(old: dict, new: dict,
     A *gated* benchmark regresses when its (machine-normalized, when
     available) throughput drops by more than ``threshold`` relative to
     the old document.  Non-gated benchmarks are reported but never
-    fail the comparison.
+    fail the comparison.  Only benchmarks present in both documents
+    are compared — callers that gate should first reject comparisons
+    where :func:`missing_gated` is non-empty, as the CLI does.
     """
     shared = [name for name in old["results"] if name in new["results"]]
     lines = [f"{'benchmark':<20} {'old ops/s':>12} {'new ops/s':>12} "
@@ -433,6 +453,16 @@ def _compare_main(argv: List[str]) -> int:
         return 2
     gated = [token.strip() for token in args.gate.split(",")
              if token.strip()]
+    missing = missing_gated(old, new, gated)
+    if missing:
+        print("error: gated benchmark(s) absent from the compared "
+              "documents — the regression gate cannot apply:",
+              file=sys.stderr)
+        for message in missing:
+            print(f"  {message}", file=sys.stderr)
+        print("re-run 'repro bench' with these benchmarks included, "
+              "or adjust --gate", file=sys.stderr)
+        return 3
     text, regressions = compare_docs(old, new, gated=gated,
                                      threshold=args.threshold)
     print(text)

@@ -1,0 +1,75 @@
+"""Model-vs-simulation overlay: the analytic model as a bench figure.
+
+Not a figure from the paper — a repo-grown companion that overlays the
+analytic model of :mod:`repro.model` on the measured Figure 2/3 curves
+at three operating points per protocol (light, knee, thrash), so a
+reader can see at a glance where the closed forms track the simulator
+and where they are documented to diverge (DESIGN.md §10).
+
+The simulated side reuses the Figure 2/3 configurations, so when those
+figures' rows are in the result cache this figure costs only the model
+evaluations (microseconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.experiment import replicate_many
+from ..exec.cache import CacheSpec
+from ..model.response import predict_summary
+from .figures import single_site_config
+
+#: Protocols overlaid (the Figure 2/3 cast).
+MODEL_VS_SIM_PROTOCOLS = ("C", "P", "L")
+#: Light-load, knee, and thrash operating points of the size sweep.
+MODEL_VS_SIM_SIZES = (2, 8, 14)
+#: Summary metrics shown side by side.
+MODEL_VS_SIM_METRICS = ("percent_missed", "mean_blocked_time",
+                        "throughput")
+
+
+def run_model_vs_sim(replications: int = 5, *,
+                     jobs: Optional[int] = None,
+                     cache: CacheSpec = None,
+                     progress=None) -> List[Dict[str, float]]:
+    """One row per (protocol, size): sim and model values side by side."""
+    grid = [(protocol, size)
+            for protocol in MODEL_VS_SIM_PROTOCOLS
+            for size in MODEL_VS_SIM_SIZES]
+    configs = [single_site_config(protocol, size)
+               for protocol, size in grid]
+    sims = replicate_many(configs, replications=replications,
+                          jobs=jobs, cache=cache, progress=progress)
+    rows = []
+    for (protocol, size), config, sim in zip(grid, configs, sims):
+        model = predict_summary(config)
+        row: Dict[str, float] = {"protocol": protocol,
+                                 "size": float(size)}
+        for metric in MODEL_VS_SIM_METRICS:
+            row[f"sim_{metric}"] = float(sim[metric])
+            row[f"model_{metric}"] = float(model[metric])
+        rows.append(row)
+    return rows
+
+
+def format_model_vs_sim(rows: List[Dict[str, float]]) -> str:
+    lines = ["Analytic model vs simulation (single site, "
+             "Figure 2/3 workloads)",
+             f"{'proto':>5} {'size':>4} "
+             f"{'miss% sim':>10} {'model':>8} "
+             f"{'blocked sim':>12} {'model':>8} "
+             f"{'thru sim':>9} {'model':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['protocol']:>5} {row['size']:>4.0f} "
+            f"{row['sim_percent_missed']:>10.2f} "
+            f"{row['model_percent_missed']:>8.2f} "
+            f"{row['sim_mean_blocked_time']:>12.2f} "
+            f"{row['model_mean_blocked_time']:>8.2f} "
+            f"{row['sim_throughput']:>9.3f} "
+            f"{row['model_throughput']:>8.3f}")
+    lines.append("model: closed-form blocking decomposition "
+                 "(repro.model); see 'repro validate-model' for the "
+                 "full divergence report")
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ import itertools
 from typing import Iterable, List, Optional
 
 from ..analyze.sanitizer import current_sanitizer
+from ..constants import BLOCKING_CEILING, BLOCKING_DIRECT
 from ..db.locks import LockMode, LockTable
 from ..trace.tracer import current_tracer
 from ..kernel.kernel import Kernel
@@ -185,10 +186,10 @@ class ConcurrencyControl:
             conflicts = self.locks.conflicting_holders(oid, txn, mode)
             if conflicts:
                 self.stats.direct_blocks += 1
-                cause = "direct"
+                cause = BLOCKING_DIRECT
             else:
                 self.stats.ceiling_blocks += 1
-                cause = "ceiling"
+                cause = BLOCKING_CEILING
             request = Request(txn, oid, mode, process, next(self._seq),
                               kernel.now)
             self._enqueue(request)
@@ -235,10 +236,10 @@ class ConcurrencyControl:
         conflicts = self.locks.conflicting_holders(oid, txn, mode)
         if conflicts:
             self.stats.direct_blocks += 1
-            cause = "direct"
+            cause = BLOCKING_DIRECT
         else:
             self.stats.ceiling_blocks += 1
-            cause = "ceiling"
+            cause = BLOCKING_CEILING
         request = Request(txn, oid, mode,
                           process if process is not None else txn.process,
                           next(self._seq), self.kernel.now,

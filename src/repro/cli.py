@@ -6,6 +6,8 @@
     python -m repro all --replications 3
     python -m repro fig2 --sanitize      # run with invariant checking
     python -m repro lint                 # static lint (repro.analyze)
+    python -m repro validate-model --quick   # sim-vs-model divergence
+    python -m repro sweep --prune-model      # analytically pruned sweep
 
 Each command runs the corresponding sweep from :mod:`repro.bench` and
 prints the text table the benchmark harness would print.  Sweeps
@@ -30,12 +32,13 @@ from .bench import (format_dbsize, format_deadlock_policies,
                     format_fault_ablation,
                     format_fig2, format_fig3, format_fig4, format_fig5,
                     format_fig6, format_inheritance,
-                    format_io_models, format_rw_vs_exclusive,
+                    format_io_models, format_model_vs_sim,
+                    format_rw_vs_exclusive,
                     format_snapshot_reads,
                     format_temporal, run_dbsize_sweep,
                     run_deadlock_policies, run_fault_ablation,
                     run_fig2_fig3, run_fig4,
-                    run_io_models,
+                    run_io_models, run_model_vs_sim,
                     run_fig5, run_fig6, run_inheritance_vs_ceiling,
                     run_rw_vs_exclusive, run_snapshot_reads,
                     run_temporal_staleness)
@@ -130,6 +133,11 @@ def _a8(replications: int, opts: ExecOptions) -> str:
         run_fault_ablation(replications=replications, **opts.kwargs()))
 
 
+def _model(replications: int, opts: ExecOptions) -> str:
+    return format_model_vs_sim(
+        run_model_vs_sim(replications=replications, **opts.kwargs()))
+
+
 COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "fig2": (_fig2, "Figure 2 - throughput vs transaction size"),
     "fig3": (_fig3, "Figure 3 - %% deadline-missing vs size"),
@@ -145,6 +153,7 @@ COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "a6": (_a6, "Ablation A6 - lock-free snapshot reads"),
     "a7": (_a7, "Ablation A7 - bounded disks vs parallel I/O"),
     "a8": (_a8, "Ablation A8 - fault injection: loss and crashes"),
+    "model": (_model, "Analytic model vs simulation overlay"),
 }
 
 
@@ -154,14 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
     choices = list(COMMANDS) + ["all", "lint", "faults", "run", "trace",
-                                "bench"]
+                                "bench", "validate-model", "sweep"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
                              "('all' runs everything; 'lint' runs the "
                              "static analyzer; 'faults' manages fault "
                              "plans; 'run' runs one distributed sweep "
                              "point; 'trace' inspects trace artifacts; "
-                             "'bench' runs the hot-path microbenchmarks "
+                             "'bench' runs the hot-path microbenchmarks; "
+                             "'validate-model' cross-validates the "
+                             "analytic model against the simulator; "
+                             "'sweep' runs a protocol/size grid, "
+                             "optionally model-pruned "
                              "— see 'repro <cmd> -h')")
     parser.add_argument("--replications", type=int, default=5,
                         help="seeded runs averaged per sweep point "
@@ -320,6 +333,111 @@ def _run_main(argv: List[str]) -> int:
     return 0
 
 
+def _sweep_main(argv: List[str]) -> int:
+    """``repro sweep`` — a protocol x size grid, optionally pruned.
+
+    With ``--prune-model`` every grid point is scored by the analytic
+    model first and only the best ``--keep-fraction`` is simulated;
+    skipped points report the model's prediction, marked ``~``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Sweep a protocol x transaction-size grid. "
+                    "--prune-model scores every config analytically "
+                    "(repro.model) and simulates only the top "
+                    "fraction by --metric.")
+    parser.add_argument("--protocols", default="C,P,L",
+                        help="comma-separated protocol names "
+                             "(default %(default)s)")
+    parser.add_argument("--sizes", default="2,5,8,11,14,17,20",
+                        help="comma-separated transaction sizes "
+                             "(default %(default)s)")
+    parser.add_argument("--metric", default="percent_missed",
+                        help="summary metric to rank configs by "
+                             "(default %(default)s)")
+    parser.add_argument("--prune-model", action="store_true",
+                        help="simulate only the best --keep-fraction "
+                             "of the grid by the model's --metric "
+                             "score; report the runs saved")
+    parser.add_argument("--keep-fraction", type=float, default=0.4,
+                        help="fraction of configs to simulate under "
+                             "--prune-model (default %(default)s)")
+    parser.add_argument("--best", choices=("min", "max"),
+                        default="min",
+                        help="whether lower or higher --metric scores "
+                             "rank better (default %(default)s)")
+    parser.add_argument("--replications", type=int, default=5)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--progress", action="store_true")
+    args = parser.parse_args(argv)
+    if args.replications < 1:
+        print("error: --replications must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.keep_fraction <= 1.0:
+        print("error: --keep-fraction must be in (0, 1]",
+              file=sys.stderr)
+        return 2
+    try:
+        sizes = [int(part) for part in args.sizes.split(",") if part]
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, "
+              f"got {args.sizes!r}", file=sys.stderr)
+        return 2
+    protocols = [part for part in args.protocols.split(",") if part]
+    if not protocols or not sizes:
+        print("error: need at least one protocol and one size",
+              file=sys.stderr)
+        return 2
+    from .bench import single_site_config
+    try:
+        grid = [(protocol, size, single_site_config(protocol, size))
+                for protocol in protocols for size in sizes]
+        for __, __, config in grid:
+            config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    opts = _exec_options(args)
+    configs = [config for __, __, config in grid]
+    header = (f"{'':>1}{'protocol':>9} {'size':>5} "
+              f"{args.metric:>16} {'source':>7}")
+    if args.prune_model:
+        from .model import run_pruned_sweep
+        try:
+            result = run_pruned_sweep(
+                configs, metric=args.metric,
+                keep_fraction=args.keep_fraction, best=args.best,
+                replications=args.replications, **opts.kwargs())
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(header)
+        for (protocol, size, __), row in zip(grid, result.rows):
+            marker = "~" if row["pruned"] else " "
+            source = "model" if row["pruned"] else "sim"
+            print(f"{marker}{protocol:>9} {size:>5} "
+                  f"{row[args.metric]:>16.3f} {source:>7}")
+        print(f"\n[pruned {result.n_skipped}/{result.n_configs} "
+              f"configs ({result.saved_fraction:.0%} of simulation "
+              f"runs saved), kept top {len(result.kept)} by model "
+              f"{args.metric} ({args.best})]")
+        return 0
+    from .core.experiment import replicate_many
+    rows = replicate_many(configs, replications=args.replications,
+                          **opts.kwargs())
+    print(header)
+    for (protocol, size, __), row in zip(grid, rows):
+        if args.metric not in row:
+            print(f"error: simulator summary has no metric "
+                  f"{args.metric!r}", file=sys.stderr)
+            return 2
+        print(f" {protocol:>9} {size:>5} "
+              f"{row[args.metric]:>16.3f} {'sim':>7}")
+    return 0
+
+
 def _print_trace_summary(config, trace_dir: str,
                          profile: bool) -> None:
     """Summarize the first replication's trace artifact for one mode.
@@ -361,6 +479,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if raw and raw[0] == "bench":
         from .bench.micro import main as bench_main
         return bench_main(raw[1:])
+    if raw and raw[0] == "validate-model":
+        from .model.validate import main as validate_main
+        return validate_main(raw[1:])
+    if raw and raw[0] == "sweep":
+        return _sweep_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)

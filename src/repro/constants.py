@@ -1,0 +1,28 @@
+"""Shared constant taxonomies used across otherwise-independent layers.
+
+The blocking-time categories below are a cross-layer contract: the
+protocols classify every lock block as it happens (:mod:`repro.cc`),
+the trace layer decomposes measured response times into the same
+buckets (:mod:`repro.trace.timeline`), and the analytic model predicts
+per-category blocking (:mod:`repro.model.blocking`).  The three layers
+must agree byte-for-byte — a drifted spelling would silently split one
+category into two — so the names live here and lint rule RPL009 bans
+re-declaring the string literals inside ``model/``, ``trace/`` or
+``cc/``.
+"""
+
+#: Waiting on an incompatible lock holder.
+BLOCKING_DIRECT = "direct"
+#: Admission denied by the rw-ceiling test with no direct lock
+#: conflict (the ceiling protocol's push-through cost).
+BLOCKING_CEILING = "ceiling"
+#: Request/reply time not explained by lock blocking (message transit,
+#: remote queueing, server service).
+BLOCKING_NETWORK = "network"
+#: Everything else in the response time (CPU, I/O, local queueing).
+BLOCKING_OTHER = "other"
+
+#: The additive response-time decomposition, in presentation order:
+#: direct + ceiling + network + other == response.
+BLOCKING_CATEGORIES = (BLOCKING_DIRECT, BLOCKING_CEILING,
+                       BLOCKING_NETWORK, BLOCKING_OTHER)

@@ -15,7 +15,7 @@ from .fingerprint import (CODE_VERSION, config_fingerprint,
                           describe_config)
 from .progress import NullProgress, TextProgress
 from .units import (RunUnit, group_rows, plan_batch, plan_replications,
-                    replication_seeds)
+                    plan_subset, replication_seeds)
 from .worker import InjectedFailure, execute_config, invoke_unit
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "invoke_unit",
     "plan_batch",
     "plan_replications",
+    "plan_subset",
     "replication_seeds",
     "reset_session_counters",
     "resolve_cache",

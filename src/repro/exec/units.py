@@ -97,6 +97,33 @@ def plan_batch(configs: Sequence[object], replications: int = 10,
     return units
 
 
+def plan_subset(configs: Sequence[object], keep: Sequence[int],
+                replications: int = 10,
+                base_seed: int = 1) -> List[RunUnit]:
+    """Expand only the selected configurations of a batch.
+
+    ``keep`` holds indices into ``configs``; each kept config gets
+    ``group=i`` (its position in the *full* batch, exactly as
+    :func:`plan_batch` would have assigned), so rows of a pruned plan
+    line up with the unpruned config list.  This is the engine half of
+    model-backed planning: an analytic scorer picks ``keep``, the
+    executor never sees the pruned configs, and the cache keys of the
+    surviving units are identical to a full run's — a later unpruned
+    sweep reuses them.
+    """
+    kept = sorted(set(keep))
+    if kept and not 0 <= kept[0] <= kept[-1] < len(configs):
+        raise ValueError(f"keep indices {kept[0]}..{kept[-1]} outside "
+                         f"the batch of {len(configs)} configs")
+    units: List[RunUnit] = []
+    for group in kept:
+        units.extend(plan_replications(configs[group],
+                                       replications=replications,
+                                       base_seed=base_seed, group=group,
+                                       start_index=len(units)))
+    return units
+
+
 def group_rows(units: Sequence[RunUnit], rows: Sequence[object],
                group: Hashable) -> List[object]:
     """The merged rows belonging to one plan group, in unit order."""

@@ -1,0 +1,214 @@
+"""Birth–death/Markov-chain lock-contention machinery.
+
+The ceiling protocols serialize lock holding (DESIGN.md §10): at most
+one transaction at a time holds locks, so the lock stage behaves as a
+single-server queue.  Real-time transactions do not wait forever —
+a waiter whose deadline fires abandons the queue — which makes the
+natural model an M/M/1+M *reneging* queue (Erlang-A): a birth–death
+chain with arrival rate λ, service rate μ, and per-waiter abandonment
+rate θ = 1/patience, giving death rate μ + (n-1)·θ in state n.
+
+The chain is solved exactly by the standard product-form recurrence;
+:func:`reneging_queue` packages the stationary quantities the blocking
+analysis consumes (abandonment fraction, mean wait over all arrivals).
+:func:`erlang_tail` supplies the gamma/Erlang waiting-time tail used by
+the 2PL deadline-miss estimator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Sequence
+
+#: Truncation width: states are added until the unnormalised mass of
+#: the last state falls below this fraction of the total.
+_TAIL_EPSILON = 1e-12
+#: Hard ceiling on chain length (overload chains stay short because
+#: reneging grows the death rate linearly in n).
+_MAX_STATES = 5000
+#: Rescale threshold for the detailed-balance weights: in a heavily
+#: overloaded chain with weak reneging the unnormalised mass grows
+#: geometrically for hundreds of states and would overflow a float;
+#: the stationary law is scale-invariant, so everything accumulated so
+#: far is divided down whenever the frontier weight crosses this.
+_RESCALE_LIMIT = 1e100
+
+
+class BirthDeathChain:
+    """A finite birth–death chain solved for its stationary law.
+
+    ``births[n]`` is the rate n → n+1 and ``deaths[n]`` the rate
+    n → n-1 (``deaths[0]`` is ignored).  The stationary distribution
+    follows the detailed-balance recurrence
+    π(n) ∝ Π birth(k)/death(k+1).
+    """
+
+    def __init__(self, births: Sequence[float],
+                 deaths: Sequence[float]):
+        if len(births) != len(deaths):
+            raise ValueError(f"{len(births)} birth rates vs "
+                             f"{len(deaths)} death rates")
+        if not births:
+            raise ValueError("chain needs at least one state")
+        self.births = list(births)
+        self.deaths = list(deaths)
+
+    @classmethod
+    def truncated(cls, birth: Callable[[int], float],
+                  death: Callable[[int], float],
+                  max_states: int = _MAX_STATES,
+                  tail_epsilon: float = _TAIL_EPSILON
+                  ) -> "BirthDeathChain":
+        """Build a chain from rate functions, truncating adaptively:
+        states are appended until the stationary mass of the frontier
+        state is negligible (or ``max_states`` is hit)."""
+        births = [birth(0)]
+        deaths = [0.0]
+        weight = 1.0
+        total = 1.0
+        for n in range(1, max_states):
+            down = death(n)
+            if down <= 0:
+                break
+            weight *= births[-1] / down
+            total += weight
+            births.append(birth(n))
+            deaths.append(down)
+            if weight < tail_epsilon * total:
+                break
+            if weight > _RESCALE_LIMIT:
+                weight /= _RESCALE_LIMIT
+                total /= _RESCALE_LIMIT
+        return cls(births, deaths)
+
+    def stationary(self) -> List[float]:
+        """The stationary probabilities π(0..N)."""
+        weights = [1.0]
+        for n in range(1, len(self.births)):
+            weights.append(weights[-1] * self.births[n - 1]
+                           / self.deaths[n])
+            if weights[-1] > _RESCALE_LIMIT:
+                weights = [w / _RESCALE_LIMIT for w in weights]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    def mean_population(self) -> float:
+        return sum(n * p for n, p in enumerate(self.stationary()))
+
+
+@dataclasses.dataclass(frozen=True)
+class RenegingQueue:
+    """Stationary quantities of the M/M/1+M (Erlang-A) queue."""
+
+    arrival_rate: float
+    service_rate: float
+    reneging_rate: float
+    #: E[number in system].
+    mean_population: float
+    #: E[number waiting] (excludes the one in service).
+    mean_queue: float
+    #: Fraction of arrivals that abandon before service
+    #: (= θ·E[Lq]/λ, the reneging-rate balance).
+    abandon_fraction: float
+    #: Mean wait over *all* arrivals, served and abandoning
+    #: (= E[Lq]/λ by Little's law).
+    mean_wait: float
+
+
+def reneging_queue(arrival_rate: float, service_rate: float,
+                   reneging_rate: float,
+                   max_states: int = _MAX_STATES) -> RenegingQueue:
+    """Solve the single-server queue with exponential abandonment."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("arrival_rate and service_rate must be "
+                         "positive")
+    if reneging_rate < 0:
+        raise ValueError("reneging_rate must be >= 0")
+    if reneging_rate == 0 and arrival_rate >= service_rate:
+        raise ValueError("a patience-free queue needs λ < μ")
+
+    def death(n: int) -> float:
+        return service_rate + (n - 1) * reneging_rate
+
+    chain = BirthDeathChain.truncated(lambda n: arrival_rate, death,
+                                      max_states=max_states)
+    probs = chain.stationary()
+    mean_pop = sum(n * p for n, p in enumerate(probs))
+    mean_queue = sum((n - 1) * p for n, p in enumerate(probs) if n >= 1)
+    abandon = reneging_rate * mean_queue / arrival_rate
+    return RenegingQueue(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        reneging_rate=reneging_rate,
+        mean_population=mean_pop,
+        mean_queue=mean_queue,
+        abandon_fraction=min(abandon, 1.0),
+        mean_wait=mean_queue / arrival_rate,
+    )
+
+
+# ----------------------------------------------------------------------
+# closed forms the tests cross-check the chain against
+# ----------------------------------------------------------------------
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """M/M/1 mean waiting time in queue, Wq = ρ/(μ-λ)."""
+    if arrival_rate >= service_rate:
+        raise ValueError("M/M/1 needs λ < μ")
+    rho = arrival_rate / service_rate
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_queue(arrival_rate: float, service_rate: float) -> float:
+    """M/M/1 mean queue length Lq = ρ²/(1-ρ)."""
+    if arrival_rate >= service_rate:
+        raise ValueError("M/M/1 needs λ < μ")
+    rho = arrival_rate / service_rate
+    return rho * rho / (1.0 - rho)
+
+
+# ----------------------------------------------------------------------
+# gamma/Erlang waiting-time tail
+# ----------------------------------------------------------------------
+def erlang_tail(shape: float, mean_stage: float,
+                threshold: float) -> float:
+    """P(sum of ``shape`` exponential stages of mean ``mean_stage``
+    exceeds ``threshold``), interpolated for non-integer shape.
+
+    With k waits per transaction each ≈ exponential, total delay is
+    Erlang-k; the deadline-miss estimator asks for its tail beyond the
+    remaining slack.  Non-integer k (a *mean* number of conflicts) is
+    handled by log-linear interpolation between ⌊k⌋ and ⌈k⌉.
+    """
+    if shape <= 0 or mean_stage <= 0:
+        return 0.0
+    if threshold <= 0:
+        return 1.0
+    low = math.floor(shape)
+    high = low + 1
+    frac = shape - low
+    tail_low = _erlang_tail_int(low, mean_stage, threshold)
+    tail_high = _erlang_tail_int(high, mean_stage, threshold)
+    if frac == 0:
+        return tail_low
+    # Log-linear interpolation keeps the tail monotone in the shape
+    # and exact at integer shapes.
+    floor_tail = 1e-300
+    log_low = math.log(max(tail_low, floor_tail))
+    log_high = math.log(max(tail_high, floor_tail))
+    return math.exp((1.0 - frac) * log_low + frac * log_high)
+
+
+def _erlang_tail_int(k: int, mean_stage: float,
+                     threshold: float) -> float:
+    """Exact Erlang-k tail: P(Gamma(k, mean) > t) for integer k."""
+    if k <= 0:
+        return 0.0
+    x = threshold / mean_stage
+    # Survival function = e^-x · Σ_{i<k} x^i/i!
+    term = 1.0
+    total = 1.0
+    for i in range(1, k):
+        term *= x / i
+        total += term
+    return min(1.0, math.exp(-x) * total)

@@ -19,6 +19,8 @@ import json
 import sys
 from typing import List, Optional
 
+from ..constants import (BLOCKING_CEILING, BLOCKING_DIRECT,
+                         BLOCKING_NETWORK, BLOCKING_OTHER)
 from .export import (export_chrome, load_jsonl,
                      validate_chrome_document, validate_event_kinds)
 from .timeline import RunTimeline, reconstruct
@@ -37,8 +39,9 @@ def summary_text(run: RunTimeline, top: Optional[int] = None) -> str:
     lines.append("per-transaction blocking breakdown "
                  "(virtual time units):")
     header = (f"{'tid':>5} {'site':>4} {'prio':>8} {'response':>9} "
-              f"{'direct':>9} {'ceiling':>9} {'network':>9} "
-              f"{'other':>9} {'inversion':>9} outcome")
+              f"{BLOCKING_DIRECT:>9} {BLOCKING_CEILING:>9} "
+              f"{BLOCKING_NETWORK:>9} "
+              f"{BLOCKING_OTHER:>9} {'inversion':>9} outcome")
     lines.append(header)
     shown = 0
     for tid in sorted(run.transactions):
@@ -64,9 +67,11 @@ def summary_text(run: RunTimeline, top: Optional[int] = None) -> str:
             continue
         lines.append(
             f"{tid:>5} {site:>4} {priority:>8} "
-            f"{_fmt(breakdown['response'])} {_fmt(breakdown['direct'])} "
-            f"{_fmt(breakdown['ceiling'])} "
-            f"{_fmt(breakdown['network'])} {_fmt(breakdown['other'])} "
+            f"{_fmt(breakdown['response'])} "
+            f"{_fmt(breakdown[BLOCKING_DIRECT])} "
+            f"{_fmt(breakdown[BLOCKING_CEILING])} "
+            f"{_fmt(breakdown[BLOCKING_NETWORK])} "
+            f"{_fmt(breakdown[BLOCKING_OTHER])} "
             f"{_fmt(breakdown['inversion'])} {outcome}")
     overlay = run.overlay()
     lines.append("run totals:")

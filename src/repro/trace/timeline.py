@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..constants import (BLOCKING_CEILING, BLOCKING_DIRECT,
+                         BLOCKING_NETWORK, BLOCKING_OTHER)
 from .events import TraceEvent
 
 Interval = Tuple[float, float]
@@ -145,8 +147,8 @@ class TransactionTimeline:
         if window is None:
             return None
         response = window[1] - window[0]
-        direct = total_length(self._clipped("direct"))
-        ceiling = total_length(self._clipped("ceiling"))
+        direct = total_length(self._clipped(BLOCKING_DIRECT))
+        ceiling = total_length(self._clipped(BLOCKING_CEILING))
         blocked = merge_intervals(self._clipped())
         rpc = [clipped for clipped in
                (clip_interval((lo, hi), window)
@@ -159,9 +161,9 @@ class TransactionTimeline:
         other = response - direct - ceiling - network
         if abs(other) < 1e-9:
             other = 0.0  # swallow float residue (avoids "-0.000")
-        return {"response": response, "direct": direct,
-                "ceiling": ceiling, "network": network,
-                "other": other, "inversion": inversion}
+        return {"response": response, BLOCKING_DIRECT: direct,
+                BLOCKING_CEILING: ceiling, BLOCKING_NETWORK: network,
+                BLOCKING_OTHER: other, "inversion": inversion}
 
 
 class RunTimeline:
@@ -222,9 +224,9 @@ class RunTimeline:
             if breakdown is None:
                 continue
             decomposed += 1
-            direct += breakdown["direct"]
-            ceiling += breakdown["ceiling"]
-            network += breakdown["network"]
+            direct += breakdown[BLOCKING_DIRECT]
+            ceiling += breakdown[BLOCKING_CEILING]
+            network += breakdown[BLOCKING_NETWORK]
             inversion += breakdown["inversion"]
         inversions = self.longest_inversions(top=1)
         hot = self.hot_locks(top=1)
@@ -302,7 +304,7 @@ def reconstruct(events: Iterable[TraceEvent],
             run._timeline(tid).restarts += 1
         elif kind == "lock_block":
             open_blocks[(tid, data.get("oid", -1))] = (
-                event.t, data.get("cause", "direct"),
+                event.t, data.get("cause", BLOCKING_DIRECT),
                 _holders_invert(data))
         elif kind == "lock_grant" and data.get("waited"):
             _close_block(run, tid, data.get("oid", -1), event.t,

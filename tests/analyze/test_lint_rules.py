@@ -436,6 +436,63 @@ def test_rpl008_real_hot_packages_are_clean():
 
 
 # ----------------------------------------------------------------------
+# RPL009 — blocking-category literals outside repro.constants
+# ----------------------------------------------------------------------
+def test_rpl009_flags_category_literal_in_scoped_layer():
+    source = """
+        def classify():
+            return "ceiling"
+    """
+    for path in ("src/repro/model/blocking.py",
+                 "src/repro/trace/timeline.py",
+                 "src/repro/cc/base.py"):
+        findings = lint(source, path=path, select=["RPL009"])
+        assert codes(findings) == ["RPL009"], path
+        assert "BLOCKING_CEILING" in findings[0].message
+
+
+def test_rpl009_silent_on_constant_use():
+    findings = lint("""
+        from repro.constants import BLOCKING_DIRECT
+
+        def classify():
+            return BLOCKING_DIRECT
+    """, path="src/repro/cc/base.py", select=["RPL009"])
+    assert findings == []
+
+
+def test_rpl009_silent_outside_scoped_layers():
+    source = """
+        CAUSE = "direct"
+    """
+    assert lint(source, path="src/repro/kernel/kernel.py",
+                select=["RPL009"]) == []
+    assert lint(source, path="tests/trace/test_timeline.py",
+                select=["RPL009"]) == []
+
+
+def test_rpl009_ignores_unrelated_strings():
+    findings = lint("""
+        LABEL = "directory"  # not a category name
+        MODE = "networking"
+    """, path="src/repro/model/blocking.py", select=["RPL009"])
+    assert findings == []
+
+
+def test_rpl009_shipped_layers_are_clean():
+    from pathlib import Path
+
+    import repro.cc as cc_pkg
+    import repro.model as model_pkg
+    import repro.trace as trace_pkg
+    engine = LintEngine(DEFAULT_RULES, select=["RPL009"])
+    for pkg in (cc_pkg, trace_pkg, model_pkg):
+        for module_path in sorted(
+                Path(pkg.__file__).parent.glob("*.py")):
+            assert engine.check_file(module_path) == [], module_path
+
+
+# ----------------------------------------------------------------------
 # engine behaviour
 # ----------------------------------------------------------------------
 def test_noqa_with_code_suppresses_only_that_code():

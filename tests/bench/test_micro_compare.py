@@ -1,0 +1,97 @@
+"""bench compare: regression gating and the missing-gated-key guard."""
+
+import json
+
+import pytest
+
+from repro.bench.micro import (_compare_main, compare_docs,
+                               missing_gated)
+
+
+def doc(rates, tmp_path=None, name=None):
+    """A minimal repro-bench/1 document with the given ops/sec map."""
+    document = {
+        "schema": "repro-bench/1",
+        "timestamp": "20260101_000000",
+        "quick": True,
+        "python": "3.12.0",
+        "platform": "test",
+        "results": {
+            bench: {"ops": 100, "size": 100, "repeats": 1,
+                    "wall_s": 1.0, "wall_s_all": [1.0],
+                    "ops_per_sec": rate, "peak_rss_kb": 1}
+            for bench, rate in rates.items()
+        },
+    }
+    if tmp_path is not None:
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return document, str(path)
+    return document
+
+
+def test_compare_docs_flags_gated_regression():
+    old = doc({"event_dispatch": 1000.0})
+    new = doc({"event_dispatch": 500.0})
+    __, regressions = compare_docs(old, new,
+                                   gated=("event_dispatch",),
+                                   threshold=0.2)
+    assert len(regressions) == 1
+    assert "event_dispatch" in regressions[0]
+
+
+def test_compare_docs_ignores_ungated_regression():
+    old = doc({"timer_churn": 1000.0})
+    new = doc({"timer_churn": 10.0})
+    __, regressions = compare_docs(old, new,
+                                   gated=("event_dispatch",))
+    assert regressions == []
+
+
+def test_missing_gated_names_the_absent_side():
+    old = doc({"event_dispatch": 1.0, "single_site_pcp": 1.0})
+    new = doc({"event_dispatch": 1.0})
+    messages = missing_gated(old, new, ("event_dispatch",
+                                        "single_site_pcp"))
+    assert messages == ["single_site_pcp (missing from: new)"]
+    both = missing_gated(doc({}), doc({}), ("event_dispatch",))
+    assert both == ["event_dispatch (missing from: old, new)"]
+    assert missing_gated(old, old, ("event_dispatch",)) == []
+
+
+def test_compare_cli_exits_3_when_gated_key_missing(tmp_path, capsys):
+    # Before the guard this comparison silently passed (exit 0): the
+    # gated benchmark was dropped from the shared-key intersection.
+    __, old = doc({"event_dispatch": 1000.0, "single_site_pcp": 10.0},
+                  tmp_path, "old.json")
+    __, new = doc({"event_dispatch": 900.0}, tmp_path, "new.json")
+    code = _compare_main([old, new])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "single_site_pcp" in err
+    assert "missing from: new" in err
+    assert "--gate" in err
+
+
+def test_compare_cli_passes_when_gated_keys_present(tmp_path, capsys):
+    __, old = doc({"event_dispatch": 1000.0, "single_site_pcp": 10.0},
+                  tmp_path, "old.json")
+    __, new = doc({"event_dispatch": 950.0, "single_site_pcp": 11.0},
+                  tmp_path, "new.json")
+    assert _compare_main([old, new]) == 0
+    assert "[gated]" in capsys.readouterr().out
+
+
+def test_compare_cli_regression_still_exits_1(tmp_path, capsys):
+    __, old = doc({"event_dispatch": 1000.0, "single_site_pcp": 10.0},
+                  tmp_path, "old.json")
+    __, new = doc({"event_dispatch": 100.0, "single_site_pcp": 10.0},
+                  tmp_path, "new.json")
+    assert _compare_main([old, new]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [["missing.json", "also.json"]])
+def test_compare_cli_unreadable_doc_exits_2(argv, capsys):
+    assert _compare_main(argv) == 2
+    assert "error" in capsys.readouterr().err

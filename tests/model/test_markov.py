@@ -1,0 +1,89 @@
+"""Markov machinery: the chain must agree with closed forms."""
+
+import math
+
+import pytest
+
+from repro.model.markov import (BirthDeathChain, erlang_tail,
+                                mm1_mean_queue, mm1_mean_wait,
+                                reneging_queue)
+
+
+def test_chain_rejects_mismatched_rates():
+    with pytest.raises(ValueError):
+        BirthDeathChain([1.0, 1.0], [0.0])
+    with pytest.raises(ValueError):
+        BirthDeathChain([], [])
+
+
+def test_stationary_distribution_normalizes():
+    chain = BirthDeathChain.truncated(lambda n: 0.5,
+                                      lambda n: 1.0 + 0.1 * n)
+    probs = chain.stationary()
+    assert sum(probs) == pytest.approx(1.0)
+    assert all(p >= 0 for p in probs)
+
+
+def test_two_state_chain_exact():
+    # births [λ, ...], deaths [-, μ]: π1/π0 = λ/μ.
+    chain = BirthDeathChain([0.3, 0.0], [0.0, 0.6])
+    p0, p1 = chain.stationary()
+    assert p1 / p0 == pytest.approx(0.5)
+    assert chain.mean_population() == pytest.approx(p1)
+
+
+def test_reneging_queue_reduces_to_mm1_as_patience_grows():
+    # θ → 0 recovers the M/M/1 closed forms (λ < μ required).
+    lam, mu = 0.4, 1.0
+    queue = reneging_queue(lam, mu, 1e-9)
+    assert queue.mean_wait == pytest.approx(mm1_mean_wait(lam, mu),
+                                            rel=1e-4)
+    assert queue.mean_queue == pytest.approx(mm1_mean_queue(lam, mu),
+                                             rel=1e-4)
+    assert queue.abandon_fraction == pytest.approx(0.0, abs=1e-6)
+
+
+def test_reneging_queue_abandonment_balances_excess_load():
+    # Heavily overloaded: committed throughput ≈ μ, so the abandon
+    # fraction must approach 1 - μ/λ.
+    lam, mu, theta = 4.0, 1.0, 0.5
+    queue = reneging_queue(lam, mu, theta)
+    assert queue.abandon_fraction == pytest.approx(1.0 - mu / lam,
+                                                   abs=0.02)
+    # Little's law ties the published wait to the queue length.
+    assert queue.mean_wait == pytest.approx(queue.mean_queue / lam)
+
+
+def test_reneging_queue_argument_validation():
+    with pytest.raises(ValueError):
+        reneging_queue(0.0, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        reneging_queue(1.0, 0.0, 0.1)
+    with pytest.raises(ValueError):
+        reneging_queue(1.0, 1.0, -0.1)
+    with pytest.raises(ValueError):
+        reneging_queue(2.0, 1.0, 0.0)   # patience-free + overloaded
+
+
+def test_erlang_tail_exact_at_integer_shapes():
+    # k=1 is exponential: P(X > t) = e^{-t/mean}.
+    assert erlang_tail(1, 2.0, 4.0) == pytest.approx(math.exp(-2.0))
+    # k=2: e^-x (1 + x) at x = t/mean.
+    x = 3.0
+    assert erlang_tail(2, 1.0, x) == pytest.approx(
+        math.exp(-x) * (1 + x))
+
+
+def test_erlang_tail_monotone_in_shape():
+    tails = [erlang_tail(shape, 1.0, 5.0)
+             for shape in (1.0, 1.5, 2.0, 2.5, 3.0)]
+    assert tails == sorted(tails)
+    # And interpolation stays between the integer brackets.
+    assert erlang_tail(1, 1.0, 5.0) < erlang_tail(1.5, 1.0, 5.0) \
+        < erlang_tail(2, 1.0, 5.0)
+
+
+def test_erlang_tail_edge_cases():
+    assert erlang_tail(0.0, 1.0, 5.0) == 0.0
+    assert erlang_tail(2.0, 1.0, 0.0) == 1.0
+    assert erlang_tail(2.0, 1.0, -1.0) == 1.0

@@ -1,0 +1,87 @@
+"""Property tests: the model's invariants over random workloads.
+
+No simulation runs here — these pin down structural guarantees of the
+analytic solvers over the whole configuration space: predictions are
+finite and well-bounded, the single-transaction degenerate case is
+exact for *every* workload, and the Erlang tail behaves like a
+survival function.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import BLOCKING_CATEGORIES
+from repro.core.config import SingleSiteConfig, WorkloadConfig
+from repro.model.blocking import predict_blocking
+from repro.model.markov import erlang_tail, reneging_queue
+from repro.model.workload import WorkloadModel
+
+workloads = st.builds(
+    WorkloadConfig,
+    n_transactions=st.integers(min_value=1, max_value=400),
+    mean_interarrival=st.floats(min_value=0.5, max_value=100.0),
+    transaction_size=st.integers(min_value=1, max_value=24),
+    size_jitter=st.integers(min_value=0, max_value=4),
+    read_only_fraction=st.floats(min_value=0.0, max_value=1.0),
+    write_fraction=st.floats(min_value=0.1, max_value=1.0),
+)
+
+protocols = st.sampled_from(["C", "Cx", "L", "P", "PI"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(protocol=protocols, workload=workloads)
+def test_predictions_are_bounded(protocol, workload):
+    config = SingleSiteConfig(protocol=protocol, db_size=200,
+                              workload=workload)
+    prediction = predict_blocking(WorkloadModel.from_config(config))
+    assert 0.0 <= prediction.miss_fraction <= 1.0
+    assert prediction.response_time >= 0.0
+    assert prediction.total_blocking >= 0.0
+    assert set(prediction.categories) == set(BLOCKING_CATEGORIES)
+    assert all(value >= 0.0
+               for value in prediction.categories.values())
+    assert 0.0 <= prediction.deadlock_probability <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(protocol=protocols, workload=workloads)
+def test_single_transaction_is_always_exact(protocol, workload):
+    config = SingleSiteConfig(
+        protocol=protocol, db_size=200,
+        workload=dataclasses.replace(workload, n_transactions=1))
+    model = WorkloadModel.from_config(config)
+    prediction = predict_blocking(model)
+    assert prediction.response_time == pytest.approx(
+        model.mean_service)
+    assert prediction.total_blocking == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=st.floats(min_value=0.1, max_value=20.0),
+       mean_stage=st.floats(min_value=0.1, max_value=50.0),
+       threshold=st.floats(min_value=0.0, max_value=500.0))
+def test_erlang_tail_is_a_survival_function(shape, mean_stage,
+                                            threshold):
+    tail = erlang_tail(shape, mean_stage, threshold)
+    assert 0.0 <= tail <= 1.0
+    # Monotone non-increasing in the threshold (up to float noise in
+    # the e^-x · Σ x^i/i! survival sum).
+    assert tail >= erlang_tail(shape, mean_stage,
+                               threshold + 1.0) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=st.floats(min_value=0.01, max_value=5.0),
+       mu=st.floats(min_value=0.01, max_value=5.0),
+       theta=st.floats(min_value=0.001, max_value=2.0))
+def test_reneging_queue_is_consistent(lam, mu, theta):
+    queue = reneging_queue(lam, mu, theta)
+    assert 0.0 <= queue.abandon_fraction <= 1.0
+    assert queue.mean_queue >= 0.0
+    assert queue.mean_population >= queue.mean_queue
+    # Little's law links the published wait to the queue length.
+    assert queue.mean_wait == pytest.approx(queue.mean_queue / lam)

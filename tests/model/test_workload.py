@@ -1,0 +1,86 @@
+"""WorkloadModel: config adaptation and derived moments."""
+
+import pytest
+
+from repro.core.config import (DistributedConfig, SingleSiteConfig,
+                               WorkloadConfig)
+from repro.model.workload import WorkloadModel, _size_classes
+
+
+def single(protocol="C", **kwargs):
+    return SingleSiteConfig(protocol=protocol, db_size=200,
+                            workload=WorkloadConfig(**kwargs))
+
+
+def test_from_single_site_config():
+    model = WorkloadModel.from_config(
+        single(n_transactions=100, mean_interarrival=4.0,
+               transaction_size=8, size_jitter=0))
+    assert model.mode == "single"
+    assert model.n_sites == 1
+    assert model.comm_delay == 0.0
+    assert model.arrival_rate == pytest.approx(0.25)
+    assert model.mean_size == pytest.approx(8.0)
+
+
+def test_from_distributed_config_records_mode_and_delay():
+    config = DistributedConfig(mode="global", comm_delay=3.0)
+    model = WorkloadModel.from_config(config)
+    assert model.mode == "global"
+    assert model.comm_delay == 3.0
+    assert model.n_sites == config.n_sites
+
+
+def test_from_config_rejects_unknown_type():
+    with pytest.raises(TypeError):
+        WorkloadModel.from_config(object())
+
+
+def test_from_config_validates():
+    with pytest.raises(ValueError):
+        WorkloadModel.from_config(single(mean_interarrival=0.0))
+
+
+def test_size_classes_uniform_jitter():
+    classes = _size_classes(8, 2)
+    assert [size for size, __ in classes] == [6, 7, 8, 9, 10]
+    assert sum(p for __, p in classes) == pytest.approx(1.0)
+    # Jitter wider than the size clips at 1 (the generator's floor).
+    clipped = _size_classes(2, 3)
+    assert [size for size, __ in clipped] == [1, 2, 3, 4, 5]
+
+
+def test_moments_match_uniform_distribution():
+    model = WorkloadModel.from_config(
+        single(transaction_size=8, size_jitter=2))
+    assert model.mean_size == pytest.approx(8.0)
+    # E[X^2] of uniform{6..10} = (36+49+64+81+100)/5.
+    assert model.second_moment_size == pytest.approx(66.0)
+
+
+def test_service_demand_mirrors_cost_model():
+    config = single(transaction_size=8, size_jitter=0)
+    model = WorkloadModel.from_config(config)
+    assert model.service_demand(8) == pytest.approx(
+        config.costs.service_demand(8))
+    assert model.mean_service == pytest.approx(
+        config.costs.service_demand(8))
+
+
+def test_conflict_factor_zero_for_read_only_load():
+    model = WorkloadModel.from_config(single(read_only_fraction=1.0))
+    assert model.write_op_fraction == 0.0
+    assert model.conflict_factor == 0.0
+
+
+def test_conflict_factor_one_for_pure_writes():
+    model = WorkloadModel.from_config(
+        single(read_only_fraction=0.0, write_fraction=1.0))
+    assert model.conflict_factor == pytest.approx(1.0)
+
+
+def test_horizon_factor_exceeds_one():
+    model = WorkloadModel.from_config(single())
+    assert model.horizon_factor > 1.0
+    assert model.arrival_span == pytest.approx(
+        model.n_transactions / model.arrival_rate)
