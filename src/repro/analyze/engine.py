@@ -25,6 +25,10 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?",
                       re.IGNORECASE)
+#: Valid code tokens inside a noqa list ("RPL001"); anything else in
+#: the captured span (trailing prose like "because reasons") is not a
+#: code and must not end up in the suppression set.
+_CODE_TOKEN_RE = re.compile(r"[A-Za-z]+\d+")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,8 +57,16 @@ def _suppressed_codes(source_line: str) -> Optional[frozenset]:
     codes = match.group("codes")
     if codes is None:
         return frozenset()  # bare "# noqa": everything
-    return frozenset(code.strip().upper()
-                     for code in codes.split(",") if code.strip())
+    # Split on commas, then keep only well-formed code tokens: the
+    # captured span is greedy enough to swallow trailing prose
+    # ("# noqa: RPL001 because reasons"), which must suppress RPL001,
+    # not look for a code named "RPL001 BECAUSE REASONS".
+    tokens = []
+    for part in codes.split(","):
+        found = _CODE_TOKEN_RE.findall(part)
+        if found:
+            tokens.append(found[0].upper())
+    return frozenset(tokens)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:

@@ -1,0 +1,284 @@
+"""Flow-aware lint rules (RPL010-RPL012), built on
+:mod:`repro.analyze.dataflow`.
+
+Each rule needs a fact that spans more than one AST node:
+
+- **RPL010 — dynamic RNG stream name.**  The common-random-numbers
+  discipline (see :mod:`repro.kernel.rng`) only works if stream names
+  are *lexically evident*: a name computed at runtime can differ
+  between two runs of one seed, silently splitting a stream and
+  breaking run-to-run reproducibility.  The rule resolves the name
+  argument through reaching definitions and module constants; string
+  literals, f-strings over constants/attributes, and ``STREAM``-style
+  constants all pass.
+- **RPL011 — nondeterminism imported into a deterministic layer.**
+  The kernel, protocol and distributed layers run on virtual time and
+  seeded streams; ``time``/``datetime``/``random`` have no business
+  being imported there at all (the syntactic rules RPL001/RPL002 only
+  catch direct *calls*; an alias like ``clock = time.time`` then
+  ``clock()`` slips through them — reaching definitions catch it).
+- **RPL012 — orphaned mutation of shared protocol state.**  Every
+  mutation of a lock manager's shared state (``waiting``,
+  ``_waiting_by_oid``, ``locks``) must be reachable from its public
+  API — the entry points the kernel and transaction managers call.  A
+  mutating helper with no path from any entry point is dead code at
+  best and a protocol bypass at worst (the classic refactor residue:
+  the caller moved, the helper stayed).  Reachability runs over the
+  module-local reference graph, over-approximated so only genuine
+  orphans are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Optional, Set
+
+from . import dataflow
+from .engine import Finding
+from .rules import Rule, _is_path_part
+
+#: Drawing helpers of RngStreams whose first argument is the stream
+#: name (checked only when that argument is an f-string — a plain
+#: string literal is trivially static, a number means the receiver is
+#: a bare random.Random).
+_STREAM_HELPERS = {"exponential", "uniform", "randint", "sample",
+                   "choice", "random"}
+
+#: Modules whose presence in a deterministic layer is a finding.
+_NONDETERMINISTIC_MODULES = {"time", "datetime", "random", "secrets"}
+
+#: Shared lock-manager state attributes patrolled by RPL012.
+_PROTOCOL_STATE = {"waiting", "_waiting_by_oid", "locks"}
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {"append", "remove", "pop", "clear", "insert", "extend",
+             "setdefault", "update", "add", "discard", "grant",
+             "release", "release_all"}
+
+
+def _is_rng_module(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith("kernel/rng.py")
+
+
+class DynamicStreamNameRule(Rule):
+    """RPL010: RNG stream name not statically derivable."""
+
+    code = "RPL010"
+    name = "dynamic-rng-stream-name"
+
+    def applies_to(self, path: str) -> bool:
+        return not (_is_path_part(path, "tests")
+                    or _is_rng_module(path))
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        facts = dataflow.analyze(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or not node.args:
+                continue
+            if func.attr == "stream":
+                pass
+            elif (func.attr in _STREAM_HELPERS
+                    and self._receiver_is_rng(func.value)
+                    and isinstance(node.args[0], ast.JoinedStr)):
+                pass
+            else:
+                continue
+            name_arg = node.args[0]
+            scope = facts.scope_at(node)
+            if not facts.is_static_string(name_arg, scope):
+                yield self.finding(
+                    path, node,
+                    f"RNG stream name {ast.unparse(name_arg)!r} is not "
+                    f"statically derivable (constants, f-strings over "
+                    f"constants/attributes, or module-level CONSTANTS); "
+                    f"a runtime-computed name can split a stream "
+                    f"between runs and break seed reproducibility")
+
+    @staticmethod
+    def _receiver_is_rng(base: ast.AST) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id == "rng" or base.id.endswith("rng")
+        if isinstance(base, ast.Attribute):
+            return base.attr == "rng" or base.attr.endswith("rng")
+        return False
+
+
+class NondeterministicImportRule(Rule):
+    """RPL011: time/datetime/random imported or aliased into the
+    kernel/protocol/distributed layers."""
+
+    code = "RPL011"
+    name = "nondeterminism-in-deterministic-layer"
+    #: Directory names this rule patrols.
+    scoped_parts = ("kernel", "cc", "dist")
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests") or _is_rng_module(path):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        facts = dataflow.analyze(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    root = item.name.split(".")[0]
+                    if root in _NONDETERMINISTIC_MODULES:
+                        yield self.finding(
+                            path, node,
+                            f"'import {item.name}' in a deterministic "
+                            f"layer; this code runs on virtual time "
+                            f"and seeded streams (kernel.now, "
+                            f"kernel.rng)")
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _NONDETERMINISTIC_MODULES:
+                    names = [item.name for item in node.names
+                             if item.name != "Random"]
+                    if names:
+                        yield self.finding(
+                            path, node,
+                            f"'from {node.module} import "
+                            f"{', '.join(names)}' in a deterministic "
+                            f"layer; use virtual time / seeded "
+                            f"streams")
+        # Aliased calls: f = time.time; ...; f()  — the reaching
+        # definitions expose the alias even though the call site
+        # mentions neither module.
+        for scope in facts.functions:
+            for node in dataflow.own_nodes(scope.node):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)):
+                    continue
+                for definition in scope.definitions.get(
+                        node.func.id, ()):
+                    label = self._nondeterministic_source(definition,
+                                                         facts)
+                    if label is not None:
+                        yield self.finding(
+                            path, node,
+                            f"call through alias '{node.func.id}' of "
+                            f"{label} in a deterministic layer")
+                        break
+
+    @staticmethod
+    def _nondeterministic_source(definition: Any,
+                                 facts: Any) -> Optional[str]:
+        if definition is dataflow.UNKNOWN or not isinstance(
+                definition, ast.AST):
+            return None
+        node = definition
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            module = facts.module_aliases.get(node.id)
+            if module and module.split(".")[0] in \
+                    _NONDETERMINISTIC_MODULES:
+                return ast.unparse(definition)
+        return None
+
+
+class OrphanStateMutationRule(Rule):
+    """RPL012: shared protocol state mutated by a method unreachable
+    from the lock-manager entry points."""
+
+    code = "RPL012"
+    name = "orphan-protocol-state-mutation"
+    #: Directory names this rule patrols (the lock managers).
+    scoped_parts = ("cc",)
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        facts = dataflow.analyze(tree)
+        roots = self._roots(facts)
+        reachable = facts.reachable(roots)
+        for scope in facts.functions:
+            if scope.class_name is None:
+                continue
+            short = scope.qualname.rsplit(".", 1)[-1]
+            if (scope.qualname in roots or scope.qualname in reachable
+                    or short in reachable):
+                continue
+            for node, label in self._mutations(scope):
+                yield self.finding(
+                    path, node,
+                    f"{scope.qualname} mutates shared protocol state "
+                    f"({label}) but is unreachable from any public "
+                    f"lock-manager entry point in this module — dead "
+                    f"code or a concurrency-control bypass")
+
+    def _roots(self, facts) -> Set[str]:
+        roots: Set[str] = set()
+        for scope in facts.functions:
+            short = scope.qualname.rsplit(".", 1)[-1]
+            if not short.startswith("_") or (short.startswith("__")
+                                             and short.endswith("__")):
+                roots.add(scope.qualname)
+                continue
+            if scope.class_name is not None:
+                bases = facts.class_bases.get(scope.class_name, [])
+                if any(base not in facts.class_bases
+                       for base in bases):
+                    # The base class lives in another module and may
+                    # invoke this as a protocol hook: assume callable.
+                    roots.add(scope.qualname)
+        return roots
+
+    def _mutations(self, scope):
+        for node in dataflow.own_nodes(scope.node):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATORS):
+                    attr = self._state_attr(func.value)
+                    if attr is not None:
+                        yield node, f"self.{attr}.{func.attr}(...)"
+            elif isinstance(node, (ast.Assign, ast.AugAssign,
+                                   ast.Delete)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target]
+                           if isinstance(node, ast.AugAssign)
+                           else node.targets)
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    attr = self._state_attr(base)
+                    if attr is not None:
+                        yield node, f"self.{attr}"
+
+    @staticmethod
+    def _state_attr(node: Any) -> Optional[str]:
+        # self.<state> or self.<state>[...] receivers only.
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in _PROTOCOL_STATE):
+            return node.attr
+        return None
+
+
+FLOW_RULES = (
+    DynamicStreamNameRule(),
+    NondeterministicImportRule(),
+    OrphanStateMutationRule(),
+)
+
+FLOW_RULE_INDEX = {
+    "RPL010": "RNG stream name not statically derivable",
+    "RPL011": "time/datetime/random in a deterministic layer",
+    "RPL012": "orphaned mutation of shared lock-manager state",
+}

@@ -717,8 +717,10 @@ class BlockingTaxonomyRule(Rule):
                 f"protocol, trace and model layers cannot drift")
 
 
-#: The shipped rule set, in code order.
-DEFAULT_RULES = (
+#: The syntactic rule set, in code order.  The flow-aware rules
+#: (RPL010-RPL012) live in :mod:`repro.analyze.flow_rules`; they are
+#: appended below so the shipped registry stays one tuple.
+_SYNTACTIC_RULES = (
     WallClockRule(),
     GlobalRandomRule(),
     DiscardedSyscallRule(),
@@ -742,3 +744,10 @@ RULE_INDEX = {
     "RPL008": "tracer event call outside an 'is not None' guard",
     "RPL009": "re-declared blocking-category string literal",
 }
+
+# Imported at the bottom on purpose: flow_rules subclasses Rule from
+# this module, so the import must run after the class definitions.
+from .flow_rules import FLOW_RULES, FLOW_RULE_INDEX  # noqa: E402
+
+DEFAULT_RULES = _SYNTACTIC_RULES + FLOW_RULES
+RULE_INDEX.update(FLOW_RULE_INDEX)

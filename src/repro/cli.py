@@ -6,6 +6,7 @@
     python -m repro all --replications 3
     python -m repro fig2 --sanitize      # run with invariant checking
     python -m repro lint                 # static lint (repro.analyze)
+    python -m repro verify               # bounded model check (repro.verify)
     python -m repro validate-model --quick   # sim-vs-model divergence
     python -m repro sweep --prune-model      # analytically pruned sweep
 
@@ -162,12 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
-    choices = list(COMMANDS) + ["all", "lint", "faults", "run", "trace",
+    choices = list(COMMANDS) + ["all", "lint", "verify", "faults",
+                                "run", "trace",
                                 "bench", "validate-model", "sweep"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
                              "('all' runs everything; 'lint' runs the "
-                             "static analyzer; 'faults' manages fault "
+                             "static analyzer; 'verify' explores "
+                             "protocol schedules exhaustively on "
+                             "small configs; 'faults' manages fault "
                              "plans; 'run' runs one distributed sweep "
                              "point; 'trace' inspects trace artifacts; "
                              "'bench' runs the hot-path microbenchmarks; "
@@ -469,6 +473,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (it has its own options and exit-status contract).
         from .analyze.cli import main as lint_main
         return lint_main(raw[1:])
+    if raw and raw[0] == "verify":
+        from .verify.cli import main as verify_main
+        return verify_main(raw[1:])
     if raw and raw[0] == "faults":
         return _faults_main(raw[1:])
     if raw and raw[0] == "trace":

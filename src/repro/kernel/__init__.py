@@ -11,6 +11,8 @@ Public surface::
 """
 
 from .clock import Clock
+from .controlled import (ChoiceRecord, Chooser, DefaultChooser,
+                         SchedulerController, active_controller)
 from .errors import (InvalidProcessState, KernelError, PortClosed,
                      ProcessInterrupt, SchedulingError, SimulationOver,
                      Timeout)
@@ -28,7 +30,12 @@ from .timers import DeadlineTimer
 __all__ = [
     "BLOCKED",
     "Call",
+    "ChoiceRecord",
+    "Chooser",
     "Clock",
+    "DefaultChooser",
+    "SchedulerController",
+    "active_controller",
     "DeadlineTimer",
     "Delay",
     "Event",

@@ -227,6 +227,56 @@ class EventQueue:
             return heappop(heap)
         return None
 
+    def pop_tied_entries(self) -> list:
+        """Remove and return every live entry tied at the earliest
+        ``(time, key)`` instant, in ``(time, key, seq)`` order.
+
+        The controlled run loop (:mod:`repro.kernel.controlled`) uses
+        this to surface simultaneous-event ties as choice points; entry
+        0 is exactly what :meth:`pop` would have returned.  Unchosen
+        entries go back via :meth:`push_entry` with their identity
+        (and therefore their relative order) intact.
+        """
+        first = self._pop_live_entry()
+        if first is None:
+            return []
+        batch = [first]
+        time, key = first[0], first[1]
+        while True:
+            entry = self._peek_live_entry()
+            if entry is None or entry[0] != time or entry[1] != key:
+                break
+            batch.append(self._pop_live_entry())
+        return batch
+
+    def push_entry(self, entry: tuple) -> None:
+        """Reinsert an entry removed by :meth:`pop_tied_entries`."""
+        heappush(self._heap, entry)
+
+    def _pop_live_entry(self) -> Optional[tuple]:
+        while True:
+            entry = self._next_entry()
+            if entry is None:
+                return None
+            if not entry[3].cancelled:
+                return entry
+            self._dead -= 1
+
+    def _peek_live_entry(self) -> Optional[tuple]:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+            self._dead -= 1
+        drain = self._sorted
+        while drain and drain[-1][3].cancelled:
+            drain.pop()
+            self._dead -= 1
+        if drain:
+            if heap and heap[0] < drain[-1]:
+                return heap[0]
+            return drain[-1]
+        return heap[0] if heap else None
+
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None if empty."""
         while True:

@@ -49,6 +49,9 @@ class Kernel:
             active.attach_callback(trace)
         #: The structured tracer, or None when tracing is off.
         self.tracer = active
+        #: Optional SchedulerController (repro.kernel.controlled);
+        #: when set, :meth:`run` delegates to its controlled loop.
+        self.controller = None
         self._dispatching = False
 
     @property
@@ -174,6 +177,9 @@ class Kernel:
         pops; events scheduled *during* dispatch land in the now-tiny
         heap and are min-merged by one tuple comparison per step.
         """
+        controller = self.controller
+        if controller is not None:
+            return controller.run(self, until)
         if self._dispatching:
             raise SimulationOver("Kernel.run is not re-entrant")
         self._dispatching = True

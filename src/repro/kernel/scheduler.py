@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
+from . import controlled as _controlled
 from .process import Process
 
 T = TypeVar("T")
@@ -44,32 +45,57 @@ class WaitQueue(Generic[T]):
         self._entries.append((next(self._seq), process, item))
 
     def pop(self) -> Tuple[Process, T]:
-        """Dequeue the next process according to the policy."""
+        """Dequeue the next process according to the policy.
+
+        A *dequeue* (unlike a peek) is a committed scheduling action,
+        so under a controlled run an equal-priority tie here is a
+        choice point: the active
+        :class:`~repro.kernel.controlled.SchedulerController` picks
+        which of the tied waiters is served.  Uncontrolled runs — and
+        the default chooser — keep today's FIFO-among-equals order.
+        """
         if not self._entries:
             raise IndexError("pop from empty WaitQueue")
-        index = self._select_index()
+        index = self._select_index(resolve_ties=True)
         __, process, item = self._entries.pop(index)
         return process, item
 
     def peek(self) -> Tuple[Process, T]:
-        """Return (without removing) the next process."""
+        """Return (without removing) the next process.
+
+        Peeks never consult the controller: they are advisory (e.g.
+        preemption checks compare the top *priority*, which every tied
+        waiter shares), and routing them through the chooser would
+        record a choice that no scheduling action consumes.
+        """
         if not self._entries:
             raise IndexError("peek on empty WaitQueue")
         __, process, item = self._entries[self._select_index()]
         return process, item
 
-    def _select_index(self) -> int:
+    def _select_index(self, resolve_ties: bool = False) -> int:
         if self.policy == "fifo":
             return 0
         # priority: max effective_priority; FIFO (lowest seq) among ties.
+        entries = self._entries
         best = 0
-        best_key = (self._entries[0][1].effective_priority,
-                    -self._entries[0][0])
-        for i in range(1, len(self._entries)):
-            seq, process, __ = self._entries[i]
+        best_key = (entries[0][1].effective_priority, -entries[0][0])
+        for i in range(1, len(entries)):
+            seq, process, __ = entries[i]
             key = (process.effective_priority, -seq)
             if key > best_key:
                 best, best_key = i, key
+        if resolve_ties and _controlled._ACTIVE is not None:
+            top = best_key[0]
+            tied = [i for i, (__, process, ___) in enumerate(entries)
+                    if process.effective_priority == top]
+            if len(tied) > 1:
+                labels = tuple(f"waiter:{entries[i][1].name}"
+                               for i in tied)
+                seqs = tuple(entries[i][0] for i in tied)
+                chosen = _controlled._ACTIVE.choose_queue_tie(labels,
+                                                              seqs)
+                return tied[chosen]
         return best
 
     def remove(self, process: Process) -> bool:

@@ -1,0 +1,106 @@
+"""``repro verify`` — the bounded model-checker front-end.
+
+    repro verify                          # explore the whole matrix
+    repro verify --scenario pcp-2x2       # one scenario (repeatable)
+    repro verify --list                   # show the scenario registry
+    repro verify --reduction none         # ground-truth exploration
+    repro verify --schedules 500 --max-depth 48
+    repro verify --format json
+    repro verify --artifacts out/ce       # export counterexamples
+
+Exit status: 0 all explored scenarios clean, 1 violations found,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from .counterexample import attach_counterexample
+from .explorer import REDUCTIONS, Explorer
+from .scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="Bounded exhaustive exploration of protocol "
+                    "schedules over small, adversarial configurations "
+                    "(deadlock, serializability, 2PC agreement, "
+                    "ceiling admission).")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="scenario to explore (repeatable; "
+                             "default: the full registry — see "
+                             "--list)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the scenario registry and exit")
+    parser.add_argument("--max-depth", type=int, default=64,
+                        help="choice-point depth budget per schedule "
+                             "(default 64)")
+    parser.add_argument("--schedules", type=int, default=2000,
+                        help="schedule budget per scenario "
+                             "(default 2000)")
+    parser.add_argument("--reduction", choices=REDUCTIONS,
+                        default="sleep",
+                        help="state-space reduction: none (ground "
+                             "truth), hash (convergence pruning), "
+                             "sleep (hash + independent-event "
+                             "skipping; default)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="export counterexample artifacts "
+                             "(<scenario>.schedule.json + "
+                             "<scenario>.trace.jsonl) to DIR")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:18s} {scenario.title}")
+        return 0
+    names = args.scenario or list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(f"error: unknown scenario(s): {', '.join(unknown)} "
+              f"(see 'repro verify --list')")
+        return 2
+    if args.max_depth < 1 or args.schedules < 1:
+        print("error: --max-depth and --schedules must be >= 1")
+        return 2
+
+    reports = []
+    for name in names:
+        explorer = Explorer(SCENARIOS[name],
+                            max_depth=args.max_depth,
+                            max_schedules=args.schedules,
+                            reduction=args.reduction)
+        report = explorer.explore()
+        if not report.clean:
+            attach_counterexample(report, explorer,
+                                  directory=args.artifacts)
+        reports.append(report)
+
+    if args.format == "json":
+        print(json.dumps([report.as_dict() for report in reports],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text())
+            print()
+        dirty = [report.scenario for report in reports
+                 if not report.clean]
+        if dirty:
+            print(f"FAIL: violations in {', '.join(dirty)}")
+        else:
+            print(f"OK: {len(reports)} scenario(s) clean")
+    return 0 if all(report.clean for report in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Seeded order-dependent protocol bugs: the single default schedule
+is clean, the explorer finds the violating interleaving, and the
+counterexample machinery minimizes, exports and replays it.
+
+Both mutations are *order-dependent by construction* — they only
+misbehave under an arrival/queue order the uncontrolled simulation
+never produces — so they are exactly the class of bug a single seeded
+run cannot catch and systematic exploration exists for.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cc.base import ConcurrencyControl
+from repro.cc.priority_ceiling import PriorityCeiling
+from repro.verify import (SCENARIOS, Explorer, minimize_prefix, replay,
+                          write_counterexample)
+
+
+@pytest.fixture
+def ceiling_hole(monkeypatch):
+    """Admission skips the ceiling test when every holder of the
+    barrier lock has a larger tid than the requester — invisible
+    unless the *later* transaction acquires first."""
+    orig = PriorityCeiling._can_acquire
+
+    def mutated(self, txn, oid, mode):
+        barrier, barrier_oid = self._ceiling_barrier(txn)
+        if barrier is not None and txn.priority <= barrier:
+            holders = []
+            if barrier_oid is not None:
+                holders = [h for h in self.locks.holders(barrier_oid)
+                           if h is not txn]
+            if holders and all(h.tid > txn.tid for h in holders):
+                return self.locks.can_grant(oid, txn, mode)
+            return False
+        return orig(self, txn, oid, mode)
+
+    monkeypatch.setattr(PriorityCeiling, "_can_acquire", mutated)
+
+
+@pytest.fixture
+def lost_wakeup(monkeypatch):
+    """Reevaluation silently skips when the wait queue is out of tid
+    order — a lost wakeup whose only symptom is the deadline timer
+    cleaning up after it."""
+    orig = ConcurrencyControl._reevaluate
+
+    def mutated(self):
+        if (len(self.waiting) >= 2
+                and self.waiting[0].txn.tid > self.waiting[1].txn.tid):
+            return
+        return orig(self)
+
+    monkeypatch.setattr(ConcurrencyControl, "_reevaluate", mutated)
+
+
+def test_default_schedule_misses_ceiling_hole(ceiling_hole):
+    explorer = Explorer(SCENARIOS["pcp-2x2"], max_schedules=200,
+                        reduction="hash")
+    outcome = explorer.execute((), reduced=False)
+    assert not outcome.codes, (
+        "the mutation must be invisible to the default schedule")
+
+
+def test_explorer_finds_ceiling_hole(ceiling_hole):
+    explorer = Explorer(SCENARIOS["pcp-2x2"], max_schedules=200,
+                        reduction="hash")
+    report = explorer.explore()
+    assert "SAN-PCP-CEILING" in report.codes
+    assert report.first_violation_prefix is not None
+    assert report.schedules <= 200
+
+
+def test_default_schedule_misses_lost_wakeup(lost_wakeup):
+    explorer = Explorer(SCENARIOS["pcp-3x2"], max_schedules=500,
+                        reduction="hash")
+    outcome = explorer.execute((), reduced=False)
+    assert not outcome.codes
+
+
+def test_explorer_finds_lost_wakeup(lost_wakeup):
+    explorer = Explorer(SCENARIOS["pcp-3x2"], max_schedules=500,
+                        reduction="hash")
+    report = explorer.explore()
+    assert "VFY-MISS" in report.codes
+    assert report.first_violation_prefix is not None
+
+
+def test_counterexample_minimizes_and_replays(ceiling_hole):
+    explorer = Explorer(SCENARIOS["pcp-2x2"], max_schedules=200,
+                        reduction="hash")
+    report = explorer.explore()
+    target = report.codes
+    minimized = minimize_prefix(explorer,
+                                report.first_violation_prefix, target)
+    assert len(minimized) <= len(report.first_violation_prefix)
+    outcome = replay(explorer, minimized)
+    assert target <= outcome.codes, (
+        "the minimized prefix must still reproduce the violation")
+    # Replays are deterministic: same prefix, same verdict.
+    again = replay(explorer, minimized)
+    assert outcome.codes == again.codes
+    assert [r.as_dict() for r in outcome.trail] == \
+        [r.as_dict() for r in again.trail]
+
+
+def test_counterexample_artifacts(tmp_path, lost_wakeup):
+    explorer = Explorer(SCENARIOS["pcp-3x2"], max_schedules=500,
+                        reduction="hash")
+    report = explorer.explore()
+    manifest = write_counterexample(str(tmp_path), explorer,
+                                    report.first_violation_prefix,
+                                    report.codes)
+    assert manifest["codes"] == sorted(report.codes)
+    assert os.path.exists(manifest["schedule_path"])
+    assert os.path.exists(manifest["trace_path"])
+    with open(manifest["schedule_path"], encoding="utf-8") as fh:
+        on_disk = json.load(fh)
+    assert on_disk["prefix"] == manifest["prefix"]
+    assert on_disk["choices"], "the choice trail must be exported"
+    with open(manifest["trace_path"], encoding="utf-8") as fh:
+        events = [json.loads(line) for line in fh if line.strip()]
+    assert "meta" in events[0]
+    assert any(event.get("kind") == "txn_miss"
+               for event in events[1:]), (
+        "the exported trace must show the missed deadline")
+
+
+def test_matrix_is_clean_without_mutations():
+    """Guard the guards: after the monkeypatched tests above, the
+    pristine protocol still passes its smallest scenario."""
+    report = Explorer(SCENARIOS["pcp-2x2"], max_schedules=100,
+                      reduction="hash").explore()
+    assert report.clean
