@@ -11,8 +11,11 @@ deterministic discrete-event simulation library:
 - :mod:`repro.db`        — data objects, lock table, multiversion store,
   replica catalog;
 - :mod:`repro.cc`        — the locking protocols: 2PL (L), 2PL with
-  priority (P), priority inheritance (PI), priority ceiling (C), and
-  the exclusive-lock ceiling ablation (Cx);
+  priority (P), priority inheritance (PI), priority ceiling (C), the
+  exclusive-lock ceiling ablation (Cx), and the post-paper suite
+  (mpcp, dpcp, fmlp);
+- :mod:`repro.protocols` — the protocol plugin registry (names,
+  aliases, families, config schemas, factories, fingerprints);
 - :mod:`repro.txn`       — transactions, EDF priorities, workload
   generation, transaction managers, 2PC;
 - :mod:`repro.dist`      — virtual sites, network, Message Servers, and
@@ -29,8 +32,10 @@ Quickstart::
     print(monitor.percent_missed, monitor.throughput())
 """
 
-from .cc import (PROTOCOLS, PriorityCeiling, PriorityInheritance,
+from .cc import (MPCP, PROTOCOLS, DistributedPriorityCeiling,
+                 FMLPQueueLock, PriorityCeiling, PriorityInheritance,
                  TwoPhaseLocking, TwoPhaseLockingPriority, make_protocol)
+from .protocols import REGISTRY as PROTOCOL_REGISTRY
 from .core import (DistributedConfig, PerformanceMonitor,
                    SingleSiteConfig, SingleSiteSystem, TimingConfig,
                    WorkloadConfig, compare_protocols, replicate,
@@ -46,9 +51,13 @@ __version__ = "1.0.0"
 __all__ = [
     "CostModel",
     "DistributedConfig",
+    "DistributedPriorityCeiling",
     "DistributedSystem",
+    "FMLPQueueLock",
     "Kernel",
+    "MPCP",
     "PROTOCOLS",
+    "PROTOCOL_REGISTRY",
     "PerformanceMonitor",
     "PriorityCeiling",
     "PriorityInheritance",

@@ -28,7 +28,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="AST lint for determinism and protocol hygiene "
-                    "(rules RPL001-RPL006; suppress one occurrence "
+                    "(rules RPL001-RPL013; suppress one occurrence "
                     "with '# noqa: <code>').")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: "

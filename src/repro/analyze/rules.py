@@ -50,6 +50,14 @@ failure mode in this repository:
   source of truth.  A re-declared string literal in those layers is a
   drift waiting to happen — one typo and a measured category silently
   stops matching its prediction.
+- **RPL013 — hard-coded protocol-name literal.**  The protocol cast is
+  a plugin registry (:mod:`repro.protocols`); every spec declares its
+  family, model family, sanitizer checker and aliases there.  Code in
+  the consuming layers (``cc``, ``dist``, ``model``, ``bench``) that
+  compares against protocol-name literals or re-declares a tuple of
+  them will silently miss protocols registered later — exactly the bug
+  the registry exists to prevent.  Dispatch on the resolved spec's
+  fields or derive sets from registry queries instead.
 
 Each rule reports ``(code, line, col, message)`` findings through the
 engine; suppress a deliberate occurrence with ``# noqa: <code>``.
@@ -717,6 +725,102 @@ class BlockingTaxonomyRule(Rule):
                 f"protocol, trace and model layers cannot drift")
 
 
+class ProtocolLiteralRule(Rule):
+    """RPL013: hard-coded protocol-name literal outside the registry.
+
+    The protocol set lives in :mod:`repro.protocols`; each plugin spec
+    declares its family, model family, checker and aliases, so any
+    module that branches on — or re-declares a set of — protocol name
+    literals will silently miss protocols registered later.  Two
+    shapes are flagged, the ones drift historically came from:
+
+    - a comparison or membership test against protocol-name literals
+      (``if protocol == "C"``, ``protocol in ("L", "P")``) — dispatch
+      belongs on the registered spec's fields;
+    - a module-level tuple/list made entirely of protocol names
+      (``MY_PROTOCOLS = ("C", "Cx")``) — protocol sets must be
+      registry queries (``REGISTRY.model_family_names(...)`` etc.).
+
+    Only canonical registry names are matched (aliases like
+    ``ceiling`` double as ordinary words).  A class-level ``name``
+    attribute (a protocol implementation identifying itself) and
+    per-figure cast defaults in function signatures are deliberate
+    and not flagged.
+    """
+
+    code = "RPL013"
+    name = "protocol-name-literal"
+    #: Directory names this rule patrols: every layer that consumes
+    #: protocols (their home package, repro/protocols, is the one
+    #: place allowed to spell the names).
+    scoped_parts = ("cc", "dist", "model", "bench")
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        if _is_path_part(path, "protocols"):
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    @staticmethod
+    def _protocol_names() -> set:
+        # Imported lazily: the registry pulls in the cc package, which
+        # this module must not need just to be importable.
+        from ..protocols import REGISTRY
+        return set(REGISTRY.names())
+
+    @staticmethod
+    def _name_literals(node: ast.AST, names: set) -> list:
+        """Protocol-name constants in ``node``: the node itself, or
+        every element of a homogeneous tuple/list/set of them (a
+        mixed container is not a protocol set)."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str) and node.value in names:
+                return [node]
+            return []
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            elements = node.elts
+            if not elements:
+                return []
+            for element in elements:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                        and element.value in names):
+                    return []
+            return list(elements)
+        return []
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        names = self._protocol_names()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            for side in [node.left] + list(node.comparators):
+                for literal in self._name_literals(side, names):
+                    yield self.finding(
+                        path, literal,
+                        f"protocol name {literal.value!r} tested "
+                        f"against a literal; dispatch on the "
+                        f"registered spec's fields "
+                        f"(repro.protocols.REGISTRY) instead")
+        for statement in tree.body:
+            value = None
+            if isinstance(statement, ast.Assign):
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                value = statement.value
+            if not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                continue
+            literals = self._name_literals(value, names)
+            if literals:
+                yield self.finding(
+                    path, value,
+                    "protocol set re-declared as literals; derive it "
+                    "from a repro.protocols.REGISTRY query so newly "
+                    "registered protocols are never missed")
+
+
 #: The syntactic rule set, in code order.  The flow-aware rules
 #: (RPL010-RPL012) live in :mod:`repro.analyze.flow_rules`; they are
 #: appended below so the shipped registry stays one tuple.
@@ -730,6 +834,7 @@ _SYNTACTIC_RULES = (
     AdHocTraceOutputRule(),
     UnguardedTracerRule(),
     BlockingTaxonomyRule(),
+    ProtocolLiteralRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -743,6 +848,7 @@ RULE_INDEX = {
     "RPL007": "print()/logging in protocol or dist modules",
     "RPL008": "tracer event call outside an 'is not None' guard",
     "RPL009": "re-declared blocking-category string literal",
+    "RPL013": "hard-coded protocol-name literal outside the registry",
 }
 
 # Imported at the bottom on purpose: flow_rules subclasses Rule from

@@ -57,9 +57,25 @@ class Sanitizer:
     # attachment (called by instrumented constructors)
     # ------------------------------------------------------------------
     def attach_protocol(self, cc) -> ProtocolChecker:
-        """Checker for a concurrency-control instance, selected by
-        protocol family (duck-typed: ceiling protocols expose
-        ``rw_ceiling``)."""
+        """Checker for a concurrency-control instance.
+
+        Selection is registry-driven (the plugin declares its checker
+        family), imported lazily so this module keeps its no-model-
+        imports contract at load time.  Unregistered protocol objects
+        (ad-hoc test doubles) fall back to duck typing: ceiling
+        protocols expose ``rw_ceiling``.
+        """
+        family = None
+        try:
+            from ..protocols import REGISTRY
+        except ImportError:  # pragma: no cover - partial installs
+            pass
+        else:
+            family = REGISTRY.checker_family(getattr(cc, "name", None))
+        if family == "ceiling":
+            return CeilingChecker(self, cc)
+        if family == "twopl":
+            return TwoPhaseChecker(self, cc)
         if hasattr(cc, "rw_ceiling"):
             return CeilingChecker(self, cc)
         return TwoPhaseChecker(self, cc)

@@ -21,6 +21,9 @@ from .figures import (FIG4_DELAYS, FIG5_DELAYS, FIG6_DELAYS,
                       run_fig4, run_fig5, run_fig6,
                       single_site_config)
 from .model_vs_sim import format_model_vs_sim, run_model_vs_sim
+from .protocol_suite import (PROTOCOL_SUITE_SIZES,
+                             format_protocol_suite,
+                             run_protocol_suite, suite_protocols)
 
 __all__ = [
     "FIG23_SIZES",
@@ -39,6 +42,7 @@ __all__ = [
     "format_inheritance",
     "format_io_models",
     "format_model_vs_sim",
+    "format_protocol_suite",
     "format_rw_vs_exclusive",
     "format_snapshot_reads",
     "format_temporal",
@@ -55,8 +59,11 @@ __all__ = [
     "run_inheritance_vs_ceiling",
     "run_io_models",
     "run_model_vs_sim",
+    "run_protocol_suite",
     "run_rw_vs_exclusive",
     "run_snapshot_reads",
     "run_temporal_staleness",
     "single_site_config",
+    "suite_protocols",
+    "PROTOCOL_SUITE_SIZES",
 ]

@@ -18,10 +18,12 @@ from typing import Dict, List, Optional
 from ..core.experiment import replicate_many
 from ..exec.cache import CacheSpec
 from ..model.response import predict_summary
+from ..protocols import REGISTRY
 from .figures import single_site_config
 
-#: Protocols overlaid (the Figure 2/3 cast).
-MODEL_VS_SIM_PROTOCOLS = ("C", "P", "L")
+#: Protocols overlaid — the registry's ranked overlay cast (the
+#: Figure 2/3 protocols, C then P then L).
+MODEL_VS_SIM_PROTOCOLS = REGISTRY.overlay_cast()
 #: Light-load, knee, and thrash operating points of the size sweep.
 MODEL_VS_SIM_SIZES = (2, 8, 14)
 #: Summary metrics shown side by side.

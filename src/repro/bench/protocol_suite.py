@@ -1,0 +1,83 @@
+"""Post-paper protocol suite: the queue locks and DPCP vs the paper's
+ceiling protocols.
+
+Not a figure from the paper — a repo-grown companion that reruns the
+Figure-2/3 single-site grid with the registry's post-paper plugins
+(mpcp, dpcp, fmlp) next to the paper's ceiling baselines (C and its
+exclusive-lock ablation Cx), so the follow-on literature's protocols
+are measured under exactly the workload the paper used to rank its
+own.  The cast is registry-derived: registering another plugin adds a
+column with no edits here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.experiment import replicate_many
+from ..core.reporting import format_table
+from ..protocols import REGISTRY
+from .figures import single_site_config
+
+#: Light-load, knee, heavy and thrash points of the Figure-2/3 sweep.
+PROTOCOL_SUITE_SIZES = (2, 8, 14, 20)
+
+
+def suite_protocols() -> Tuple[str, ...]:
+    """The suite's cast: the paper's ceiling-family baselines followed
+    by every registered post-paper protocol, in registration order."""
+    specs = REGISTRY.specs()
+    baseline = [spec.name for spec in specs
+                if spec.paper_protocol and spec.family == "ceiling"]
+    modern = [spec.name for spec in specs if not spec.paper_protocol]
+    return tuple(baseline + modern)
+
+
+def run_protocol_suite(sizes: Sequence[int] = PROTOCOL_SUITE_SIZES,
+                       replications: int = 5,
+                       n_transactions: int = 200, *,
+                       jobs: Optional[int] = None, cache=None,
+                       progress=None) -> List[Dict]:
+    """One row per size: throughput/%missed/deadlocks per protocol."""
+    protocols = suite_protocols()
+    points = [(size, protocol) for size in sizes
+              for protocol in protocols]
+    summaries = replicate_many(
+        [single_site_config(protocol, size, n_transactions)
+         for size, protocol in points],
+        replications=replications, jobs=jobs, cache=cache,
+        progress=progress)
+    by_point = dict(zip(points, summaries))
+    series = []
+    for size in sizes:
+        row: Dict = {"size": size}
+        for protocol in protocols:
+            aggregated = by_point[(size, protocol)]
+            row[f"throughput_{protocol}"] = aggregated["throughput"]
+            row[f"missed_{protocol}"] = aggregated["percent_missed"]
+            row[f"deadlocks_{protocol}"] = aggregated["cc_deadlocks"]
+        series.append(row)
+    return series
+
+
+def format_protocol_suite(series: List[Dict]) -> str:
+    protocols = suite_protocols()
+    missed = format_table(
+        ["size"] + [f"{p} (%missed)" for p in protocols],
+        [[row["size"]] + [row[f"missed_{p}"] for p in protocols]
+         for row in series],
+        title="Protocol suite - % deadline-missing "
+              "(paper ceilings vs mpcp/dpcp/fmlp)")
+    throughput = format_table(
+        ["size"] + [f"{p} (objects/sec)" for p in protocols],
+        [[row["size"]] + [row[f"throughput_{p}"] for p in protocols]
+         for row in series],
+        title="Protocol suite - throughput "
+              "(normalised, committed objects/sec)")
+    deadlocks = format_table(
+        ["size"] + [f"{p} (deadlocks)" for p in protocols],
+        [[row["size"]] + [row[f"deadlocks_{p}"] for p in protocols]
+         for row in series],
+        title="Protocol suite - deadlock cycles detected "
+              "(ceiling-family protocols are deadlock-free)")
+    return "\n\n".join((missed, throughput, deadlocks))

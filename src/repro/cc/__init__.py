@@ -1,45 +1,51 @@
-"""Concurrency-control protocols: L, P, PI, C (and C-exclusive).
+"""Concurrency-control protocol implementations.
 
-``make_protocol`` is the factory the configuration layer uses, keyed by
-the paper's protocol letters.
+The protocol *set* lives in :mod:`repro.protocols` — a registry where
+each protocol declares its name, aliases, family, config schema and
+factories.  This package hosts the implementation classes; the
+historical ``make_protocol``/``PROTOCOLS`` surface remains as a thin
+shim over the registry (resolved lazily to keep the import graph
+acyclic: registry specs import their classes from here).
 """
 
 from .base import CCStats, ConcurrencyControl, Request
 from .deadlock import (VICTIM_POLICIES, WaitsForGraph, build_waits_for,
                        choose_victim)
+from .dpcp import DistributedPriorityCeiling
 from .priority_ceiling import PriorityCeiling
 from .priority_inheritance import PriorityInheritance
+from .queue_locks import FMLPQueueLock, MPCP
 from .twopl import TwoPhaseLocking, TwoPhaseLockingPriority
 
-PROTOCOLS = ("L", "P", "PI", "C", "Cx")
 
+def make_protocol(name: str, kernel,
+                  options=None) -> ConcurrencyControl:
+    """Instantiate a protocol by registry name or alias.
 
-def make_protocol(name: str, kernel) -> ConcurrencyControl:
-    """Instantiate a protocol by its paper letter.
-
-    - ``"L"``  — two-phase locking without priority (FCFS everywhere);
-    - ``"P"``  — two-phase locking with priority mode;
-    - ``"PI"`` — 2PL with basic priority inheritance;
-    - ``"C"``  — priority ceiling protocol (read/write semantics);
-    - ``"Cx"`` — priority ceiling with exclusive-only locks (§5 ablation).
+    ``options`` (mapping or ``(key, value)`` pairs) is validated
+    against the protocol's declared parameter schema; see
+    ``repro.protocols.REGISTRY.names()`` for the available set.
     """
-    if name == "L":
-        return TwoPhaseLocking(kernel)
-    if name == "P":
-        return TwoPhaseLockingPriority(kernel)
-    if name == "PI":
-        return PriorityInheritance(kernel)
-    if name == "C":
-        return PriorityCeiling(kernel)
-    if name == "Cx":
-        return PriorityCeiling(kernel, exclusive_only=True)
-    raise ValueError(f"unknown protocol {name!r}; expected one of "
-                     f"{PROTOCOLS}")
+    from ..protocols import REGISTRY
+    return REGISTRY.resolve(name).build(kernel, options)
+
+
+def __getattr__(name: str):
+    # PROTOCOLS is registry-derived, resolved lazily so that importing
+    # repro.cc (which the registry's builtin specs do) never recurses.
+    if name == "PROTOCOLS":
+        from ..protocols import REGISTRY
+        return REGISTRY.names()
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
 
 
 __all__ = [
     "CCStats",
     "ConcurrencyControl",
+    "DistributedPriorityCeiling",
+    "FMLPQueueLock",
+    "MPCP",
     "PROTOCOLS",
     "PriorityCeiling",
     "PriorityInheritance",

@@ -34,6 +34,7 @@ from .bench import (format_dbsize, format_deadlock_policies,
                     format_fig2, format_fig3, format_fig4, format_fig5,
                     format_fig6, format_inheritance,
                     format_io_models, format_model_vs_sim,
+                    format_protocol_suite,
                     format_rw_vs_exclusive,
                     format_snapshot_reads,
                     format_temporal, run_dbsize_sweep,
@@ -41,8 +42,10 @@ from .bench import (format_dbsize, format_deadlock_policies,
                     run_fig2_fig3, run_fig4,
                     run_io_models, run_model_vs_sim,
                     run_fig5, run_fig6, run_inheritance_vs_ceiling,
+                    run_protocol_suite,
                     run_rw_vs_exclusive, run_snapshot_reads,
                     run_temporal_staleness)
+from .protocols import REGISTRY, UnknownProtocolError
 from .exec import (ResultCache, TextProgress, default_cache_dir,
                    resolve_jobs, session_counters)
 
@@ -139,6 +142,11 @@ def _model(replications: int, opts: ExecOptions) -> str:
         run_model_vs_sim(replications=replications, **opts.kwargs()))
 
 
+def _protocol_suite(replications: int, opts: ExecOptions) -> str:
+    return format_protocol_suite(
+        run_protocol_suite(replications=replications, **opts.kwargs()))
+
+
 COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "fig2": (_fig2, "Figure 2 - throughput vs transaction size"),
     "fig3": (_fig3, "Figure 3 - %% deadline-missing vs size"),
@@ -155,6 +163,8 @@ COMMANDS: Dict[str, Tuple[Callable[[int, ExecOptions], str], str]] = {
     "a7": (_a7, "Ablation A7 - bounded disks vs parallel I/O"),
     "a8": (_a8, "Ablation A8 - fault injection: loss and crashes"),
     "model": (_model, "Analytic model vs simulation overlay"),
+    "protocols": (_protocol_suite,
+                  "Protocol suite - mpcp/dpcp/fmlp vs C/Cx"),
 }
 
 
@@ -254,6 +264,9 @@ def _run_main(argv: List[str]) -> int:
                     "one sweep point, optionally under a fault plan.")
     parser.add_argument("--mode", choices=("local", "global", "both"),
                         default="both")
+    parser.add_argument("--protocol", default="C",
+                        help="concurrency-control protocol (registry "
+                             "name or alias; default %(default)s)")
     parser.add_argument("--faults", default=None, metavar="PLAN.json",
                         help="fault-plan JSON to inject")
     parser.add_argument("--comm-delay", type=float, default=2.0)
@@ -283,6 +296,11 @@ def _run_main(argv: List[str]) -> int:
         return 2
     if args.profile and args.trace is None:
         print("error: --profile requires --trace", file=sys.stderr)
+        return 2
+    try:
+        protocol = REGISTRY.resolve(args.protocol).name
+    except UnknownProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.sanitize:
         os.environ[ENV_VAR] = "1"
@@ -316,12 +334,18 @@ def _run_main(argv: List[str]) -> int:
         config = distributed_config(
             mode, args.comm_delay, args.read_only_fraction,
             n_transactions=args.transactions)
+        config = dataclasses.replace(config, protocol=protocol)
         if plan is not None:
             config = dataclasses.replace(config, faults=plan)
+        try:
+            config.validate()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         row = replicate(config, replications=args.replications,
                         jobs=opts.jobs, cache=opts.cache,
                         progress=opts.progress)
-        print(f"[{mode}] delay={args.comm_delay} "
+        print(f"[{mode}] protocol={protocol} delay={args.comm_delay} "
               f"mix={args.read_only_fraction} "
               f"n={args.transactions} x{args.replications}")
         for key in shown:
@@ -350,9 +374,11 @@ def _sweep_main(argv: List[str]) -> int:
                     "--prune-model scores every config analytically "
                     "(repro.model) and simulates only the top "
                     "fraction by --metric.")
-    parser.add_argument("--protocols", default="C,P,L",
-                        help="comma-separated protocol names "
-                             "(default %(default)s)")
+    parser.add_argument("--protocols", "--protocol", dest="protocols",
+                        default="C,P,L",
+                        help="comma-separated protocol names or "
+                             "aliases (default %(default)s); see "
+                             "repro.protocols for the registry")
     parser.add_argument("--sizes", default="2,5,8,11,14,17,20",
                         help="comma-separated transaction sizes "
                              "(default %(default)s)")
@@ -389,7 +415,12 @@ def _sweep_main(argv: List[str]) -> int:
         print(f"error: --sizes must be comma-separated integers, "
               f"got {args.sizes!r}", file=sys.stderr)
         return 2
-    protocols = [part for part in args.protocols.split(",") if part]
+    try:
+        protocols = [REGISTRY.resolve(part).name
+                     for part in args.protocols.split(",") if part]
+    except UnknownProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not protocols or not sizes:
         print("error: need at least one protocol and one size",
               file=sys.stderr)

@@ -40,7 +40,8 @@ class SingleSiteSystem:
         config.validate()
         self.config = config
         self.kernel = Kernel(seed=config.seed)
-        self.cc = make_protocol(config.protocol, self.kernel)
+        self.cc = make_protocol(config.protocol, self.kernel,
+                                config.protocol_options)
         self.cpu = CPU(self.kernel, name="cpu-0",
                        policy=self.cc.cpu_policy)
         if config.io_servers is None:

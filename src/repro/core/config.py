@@ -13,10 +13,10 @@ based on user specification".
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Tuple
 
-from ..cc import PROTOCOLS
 from ..faults.plan import FaultPlan
+from ..protocols import REGISTRY
 from ..txn.manager import CostModel
 
 
@@ -79,11 +79,14 @@ class SingleSiteConfig:
     #: (infinite servers); an integer k bounds the I/O subsystem to a
     #: k-server disk array (sensitivity study A7).
     io_servers: Optional[int] = None
+    #: Per-protocol parameters as ``(name, value)`` pairs (kept as a
+    #: tuple so configs stay hashable and fingerprintable); validated
+    #: against the protocol's registered schema.
+    protocol_options: Tuple[Tuple[str, str], ...] = ()
 
     def validate(self) -> None:
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.protocol!r}; "
-                             f"expected one of {PROTOCOLS}")
+        spec = REGISTRY.resolve(self.protocol)
+        spec.validate_options(self.protocol_options)
         if self.db_size < 1:
             raise ValueError("db_size must be >= 1")
         if self.io_servers is not None and self.io_servers < 1:
@@ -135,8 +138,27 @@ class DistributedConfig:
     #: any plan with every perturbation at zero — runs the historical
     #: fault-free code path bit-for-bit.
     faults: Optional[FaultPlan] = None
+    #: Concurrency-control protocol (registry name or alias).  In
+    #: global mode the registered placement hooks decide where lock
+    #: managers live (one global manager, or — DPCP — one agent per
+    #: resource-primary site); in local mode every site runs its own
+    #: instance.
+    protocol: str = "C"
+    #: Per-protocol parameters as ``(name, value)`` pairs.
+    protocol_options: Tuple[Tuple[str, str], ...] = ()
 
     def validate(self) -> None:
+        spec = REGISTRY.resolve(self.protocol)
+        options = spec.validate_options(self.protocol_options)
+        if (self.mode == "global"
+                and options.get("victim_policy", "none") != "none"):
+            # The ceiling-manager server grants remote requests through
+            # acquire_async; the 2PL victim machinery assumes a parked
+            # local requester it can interrupt, so deadlock-victim
+            # aborts are a single-site-only option.
+            raise ValueError("global mode requires victim_policy="
+                             "'none' (async lock requests cannot be "
+                             "aborted as deadlock victims)")
         if self.mode not in DISTRIBUTED_MODES:
             raise ValueError(f"unknown mode {self.mode!r}; expected one "
                              f"of {DISTRIBUTED_MODES}")

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..cc.priority_ceiling import PriorityCeiling
+from ..cc.base import ConcurrencyControl
 from ..db.locks import LockMode
 from ..db.replication import ReplicaCatalog
 from ..kernel.timers import DeadlineTimer
@@ -55,8 +55,13 @@ COMMIT_SERVICE = "commit"
 # ----------------------------------------------------------------------
 # server processes
 # ----------------------------------------------------------------------
-def ceiling_manager(site: Site, cc: PriorityCeiling, stats=None):
-    """Generator body: the global ceiling manager server loop.
+def ceiling_manager(site: Site, cc: ConcurrencyControl, stats=None):
+    """Generator body: a lock-manager server loop.
+
+    Historically the *global* ceiling manager; under the registry's
+    placement hooks the same loop also serves DPCP's resource-local
+    agents (one per site, each wrapping its own protocol instance).
+    ``cc`` is any protocol supporting the async acquire path.
 
     Keeps a registry of active transactions and of queued lock
     requests so retried messages (at-least-once delivery under a fault
@@ -255,7 +260,9 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                catalog: ReplicaCatalog, txn: Transaction,
                                costs: CostModel,
                                on_done: Callable[[Transaction], None],
-                               policy: Optional[RecoveryPolicy] = None):
+                               policy: Optional[RecoveryPolicy] = None,
+                               router: Optional[Callable[[int], int]]
+                               = None):
     """Generator body for a transaction under the global approach.
 
     Without a recovery ``policy`` every exchange is the historical
@@ -263,9 +270,20 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
     one, every RPC times out and retries (the deadline timer bounds the
     total), and commit-path cleanup is handed to bounded-attempt
     couriers so the manager always learns the outcome.
+
+    ``router`` is the registry spec's per-oid lock routing (DPCP:
+    each lock request goes to the resource's own agent site, and the
+    transaction registers/releases at every agent it touches).  With
+    ``router=None`` all lock traffic goes to ``gcm_site`` on the
+    bit-identical single-manager path.
     """
     site = sites[txn.site]
     kernel = site.kernel
+    if router is None:
+        manager_sites = [gcm_site]
+    else:
+        manager_sites = sorted({router(oid)
+                                for oid, __ in txn.operations})
     txn.mark_started(kernel.now)
     tracer = current_tracer()
     if tracer is not None:
@@ -281,20 +299,24 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
     by_site: Dict[int, List[int]] = {}
     decided_commit = False
     try:
-        # Registration round trip: the manager must know this
-        # transaction's access sets before any ceiling decision.
-        yield from comms.request(
-            gcm_site,
-            lambda: RegisterTxn(target=CEILING_SERVICE,
-                                sender_site=site.site_id,
-                                txn=txn, reply_to=reply.address),
-            match=lambda m: (isinstance(m, Ack)
-                             and m.tag == "registered"))
+        # Registration round trip(s): every manager whose resources
+        # this transaction touches must know its access sets before
+        # any ceiling decision (single-manager protocols: just the
+        # global manager).
+        for manager in manager_sites:
+            yield from comms.request(
+                manager,
+                lambda: RegisterTxn(target=CEILING_SERVICE,
+                                    sender_site=site.site_id,
+                                    txn=txn, reply_to=reply.address),
+                match=lambda m, manager=manager: (
+                    isinstance(m, Ack) and m.tag == "registered"
+                    and m.sender_site == manager))
 
         for oid, mode in txn.operations:
             blocked_at = kernel.now
             yield from comms.request(
-                gcm_site,
+                gcm_site if router is None else router(oid),
                 lambda oid=oid, mode=mode: LockRequest(
                     target=CEILING_SERVICE, sender_site=site.site_id,
                     txn=txn, oid=oid, mode=mode,
@@ -405,13 +427,14 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                     tracer.two_pc(kernel.now, txn, "done", participants)
         if costs.commit_cpu > 0:
             yield site.cpu.use(costs.commit_cpu)
-        if comms.recovery:
-            _spawn_release_courier(site, gcm_site, txn, policy)
-        else:
-            site.send(gcm_site,
-                      ReleaseAndDeregister(target=CEILING_SERVICE,
-                                           sender_site=site.site_id,
-                                           txn=txn))
+        for manager in manager_sites:
+            if comms.recovery:
+                _spawn_release_courier(site, manager, txn, policy)
+            else:
+                site.send(manager,
+                          ReleaseAndDeregister(target=CEILING_SERVICE,
+                                               sender_site=site.site_id,
+                                               txn=txn))
         txn.mark_committed(kernel.now)
         if tracer is not None:
             tracer.txn_commit(kernel.now, txn)
@@ -427,7 +450,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                       tuple(by_site.get(participant,
                                                         ())),
                                       policy)
-            _spawn_abort_courier(site, gcm_site, txn, policy)
+            for manager in manager_sites:
+                _spawn_abort_courier(site, manager, txn, policy)
         else:
             for participant in prepared:
                 site.send(participant,
@@ -435,9 +459,10 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                  sender_site=site.site_id, txn=txn,
                                  commit=False, oids=(),
                                  reply_to=reply.address))
-            site.send(gcm_site, AbortTxn(target=CEILING_SERVICE,
-                                         sender_site=site.site_id,
-                                         txn=txn))
+            for manager in manager_sites:
+                site.send(manager, AbortTxn(target=CEILING_SERVICE,
+                                            sender_site=site.site_id,
+                                            txn=txn))
         txn.mark_missed(kernel.now)
         if tracer is not None:
             tracer.txn_miss(kernel.now, txn, reason="deadline")
@@ -450,32 +475,36 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
 # ----------------------------------------------------------------------
 # cleanup couriers (recovery mode)
 # ----------------------------------------------------------------------
-def _spawn_release_courier(site: Site, gcm_site: int, txn: Transaction,
+def _spawn_release_courier(site: Site, manager: int, txn: Transaction,
                            policy: RecoveryPolicy) -> None:
     tag = f"released-{txn.tid}"
     body = courier(
-        site, gcm_site,
+        site, manager,
         lambda addr: ReleaseAndDeregister(
             target=CEILING_SERVICE, sender_site=site.site_id,
             txn=txn, reply_to=addr),
-        policy, f"release-{txn.tid}",
-        match=lambda m: isinstance(m, Ack) and m.tag == tag)
-    site.adopt(site.kernel.spawn(body, f"release-courier-{txn.tid}",
-                                 priority=float("inf")))
+        policy, f"release-{txn.tid}-{manager}",
+        match=lambda m: (isinstance(m, Ack) and m.tag == tag
+                         and m.sender_site == manager))
+    site.adopt(site.kernel.spawn(
+        body, f"release-courier-{txn.tid}-{manager}",
+        priority=float("inf")))
 
 
-def _spawn_abort_courier(site: Site, gcm_site: int, txn: Transaction,
+def _spawn_abort_courier(site: Site, manager: int, txn: Transaction,
                          policy: RecoveryPolicy) -> None:
     tag = f"aborted-{txn.tid}"
     body = courier(
-        site, gcm_site,
+        site, manager,
         lambda addr: AbortTxn(target=CEILING_SERVICE,
                               sender_site=site.site_id, txn=txn,
                               reply_to=addr),
-        policy, f"abort-{txn.tid}",
-        match=lambda m: isinstance(m, Ack) and m.tag == tag)
-    site.adopt(site.kernel.spawn(body, f"abort-courier-{txn.tid}",
-                                 priority=float("inf")))
+        policy, f"abort-{txn.tid}-{manager}",
+        match=lambda m: (isinstance(m, Ack) and m.tag == tag
+                         and m.sender_site == manager))
+    site.adopt(site.kernel.spawn(
+        body, f"abort-courier-{txn.tid}-{manager}",
+        priority=float("inf")))
 
 
 def _spawn_decide_courier(site: Site, participant: int,

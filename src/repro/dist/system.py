@@ -4,13 +4,16 @@ Builds the §4 test system from a :class:`DistributedConfig`: N fully
 interconnected sites, each with its own CPU and a full database copy, a
 Message Server, and either
 
-- **global mode** — one :class:`PriorityCeiling` instance behind a
-  ceiling-manager server at ``gcm_site``; data and commit servers at
+- **global mode** — lock managers behind ceiling-manager server loops,
+  placed by the protocol's registry spec: one manager at ``gcm_site``
+  for single-manager protocols (the paper's global ceiling manager),
+  or one resource-local agent per site under DPCP, with lock requests
+  routed to each object's primary site; data and commit servers at
   every site; transactions run the global TM (lock round trips, remote
   data access, 2PC);
-- **local mode** — a :class:`PriorityCeiling` per site; replica appliers
-  at every site; transactions run the local TM (local locks, local
-  commit, asynchronous replica fan-out).
+- **local mode** — one protocol instance per site (built from the
+  registry spec); replica appliers at every site; transactions run the
+  local TM (local locks, local commit, asynchronous replica fan-out).
 
 With a :class:`~repro.faults.FaultPlan` on the config, the network
 routes every message through a :class:`~repro.faults.FaultInjector`,
@@ -23,13 +26,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..cc.priority_ceiling import PriorityCeiling
 from ..core.config import DistributedConfig
 from ..core.monitor import PerformanceMonitor
 from ..db.replication import ReplicaCatalog
 from ..db.versions import MultiVersionStore
 from ..faults import FaultInjector
 from ..kernel.kernel import Kernel
+from ..protocols import REGISTRY
 from ..trace.tracer import current_tracer
 from ..txn.generator import TransactionSpec, WorkloadGenerator
 from ..txn.priority import PriorityAssigner, proportional_deadline
@@ -91,13 +94,25 @@ class DistributedSystem:
             self.policy = RecoveryPolicy.from_plan(
                 plan, config.comm_delay, self.degradation)
 
+        spec = REGISTRY.resolve(config.protocol)
+        self.spec = spec
+        self.lock_router = None
+        #: Global-mode lock managers by site (one entry at ``gcm_site``
+        #: for single-manager protocols; one per site under DPCP's
+        #: resource-local placement).  Empty in local mode.
+        self.global_ccs: Dict[int, object] = {}
         if config.mode == "global":
-            self.global_cc = PriorityCeiling(self.kernel)
-            manager_site = self.sites[config.gcm_site]
-            self.kernel.spawn(
-                ceiling_manager(manager_site, self.global_cc,
-                                stats=self.degradation),
-                f"gcm-{config.gcm_site}", priority=float("inf"))
+            self.lock_router = spec.lock_router(self.catalog,
+                                                config.gcm_site)
+            for manager_id in spec.manager_sites(config.n_sites,
+                                                 config.gcm_site):
+                cc = spec.build(self.kernel, config.protocol_options)
+                self.global_ccs[manager_id] = cc
+                self.kernel.spawn(
+                    ceiling_manager(self.sites[manager_id], cc,
+                                    stats=self.degradation),
+                    f"gcm-{manager_id}", priority=float("inf"))
+            self.global_cc = self.global_ccs.get(config.gcm_site)
             for site in self.sites:
                 self.kernel.spawn(data_server(site, config.costs),
                                   f"data-server-{site.site_id}",
@@ -108,7 +123,8 @@ class DistributedSystem:
         else:
             self.global_cc = None
             for site in self.sites:
-                site.ceiling = PriorityCeiling(self.kernel)
+                site.ceiling = spec.build(self.kernel,
+                                          config.protocol_options)
                 versions = (self.versions[site.site_id]
                             if self.versions is not None else None)
                 self.kernel.spawn(
@@ -159,7 +175,8 @@ class DistributedSystem:
         if self.config.mode == "global":
             body = global_transaction_manager(
                 self.sites, self.config.gcm_site, self.catalog, txn,
-                self.config.costs, self._on_done, policy=self.policy)
+                self.config.costs, self._on_done, policy=self.policy,
+                router=self.lock_router)
         elif (self.snapshot_reader is not None
               and not txn.write_set):
             # §4 mechanism: read-only transactions served lock-free
@@ -282,7 +299,11 @@ class DistributedSystem:
         row["ms_dropped"] = sum(site.message_server.dropped
                                 for site in self.sites)
         if self.config.mode == "global":
-            stats = self.global_cc.stats.as_dict()
+            stats = {}
+            for manager_id in sorted(self.global_ccs):
+                manager_stats = self.global_ccs[manager_id].stats
+                for key, value in manager_stats.as_dict().items():
+                    stats[key] = stats.get(key, 0) + value
         else:
             stats = {}
             for site in self.sites:

@@ -25,7 +25,7 @@ from typing import Optional
 
 #: Bump whenever simulation semantics change: old cache entries must
 #: not satisfy new runs.
-CODE_VERSION = "repro-exec-v2"  # v2: fault injection + recovery layer
+CODE_VERSION = "repro-exec-v3"  # v3: protocol plugin registry
 
 
 def _encode(value: object) -> object:
@@ -52,12 +52,34 @@ def cache_salt(salt: Optional[str] = None) -> str:
     return CODE_VERSION + ("+" + extra if extra else "")
 
 
+def _protocol_token(config: object) -> Optional[str]:
+    """The protocol plugin's fingerprint contribution.
+
+    Registered protocols contribute ``name@revision`` (resolved to the
+    canonical name, so aliases fingerprint identically), letting one
+    plugin bump its ``revision`` to invalidate exactly its cached
+    rows without a global :data:`CODE_VERSION` bump.  Configs without
+    a protocol field — or with one that fails to resolve (validation
+    reports that; fingerprints must stay total) — contribute nothing.
+    """
+    name = getattr(config, "protocol", None)
+    if not isinstance(name, str):
+        return None
+    from ..protocols import REGISTRY
+    try:
+        return REGISTRY.fingerprint_token(name)
+    except ValueError:
+        return None
+
+
 def config_payload(config: object,
                    salt: Optional[str] = None) -> str:
     """The canonical JSON string a fingerprint digests."""
-    return json.dumps({"salt": cache_salt(salt),
-                       "config": _encode(config)},
-                      sort_keys=True, separators=(",", ":"))
+    payload = {"salt": cache_salt(salt), "config": _encode(config)}
+    token = _protocol_token(config)
+    if token is not None:
+        payload["protocol"] = token
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def config_fingerprint(config: object,

@@ -16,19 +16,23 @@ import dataclasses
 from typing import List, Tuple, Union
 
 from ..core.config import DistributedConfig, SingleSiteConfig
+from ..protocols import REGISTRY
 
 AnyConfig = Union[SingleSiteConfig, DistributedConfig]
 
-#: Protocols analysed with the ceiling (pipeline) model.  ``C`` is the
-#: paper's rw-semantics priority ceiling protocol, ``Cx`` its
-#: exclusive-semantics ablation — under the analysis both serialize
-#: lock holding the same way.
-CEILING_PROTOCOLS = ("C", "Cx")
-#: Protocols analysed with the 2PL contention fixed point.  ``L`` is
-#: plain 2PL, ``P`` 2PL over priority scheduling, ``PI`` adds priority
-#: inheritance — inheritance reorders *who* waits, which moves the
-#: miss distribution but not the mean contention the model predicts.
-TWOPL_PROTOCOLS = ("L", "P", "PI")
+#: Protocols analysed with the ceiling (pipeline) model — every
+#: registered plugin whose ``model_family`` is ``ceiling``: the
+#: paper's C, its exclusive-semantics ablation Cx (under the analysis
+#: both serialize lock holding the same way) and dpcp (per-partition
+#: ceiling agents; on one site the partition is everything).
+CEILING_PROTOCOLS = REGISTRY.model_family_names(
+    "ceiling")  # noqa: RPL009 - model family, not a blocking category
+#: Protocols analysed with the 2PL contention fixed point — plugins
+#: whose ``model_family`` is ``twopl``: L, P, PI, plus the queue-lock
+#: suite (mpcp, fmlp).  Queue ordering and inheritance reorder *who*
+#: waits, which moves the miss distribution but not the mean
+#: contention the model predicts.
+TWOPL_PROTOCOLS = REGISTRY.model_family_names("twopl")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,7 +87,10 @@ class WorkloadModel:
         workload = config.workload
         costs = config.costs
         return cls(
-            protocol=getattr(config, "protocol", "C"),
+            # Canonicalized through the registry so aliases ("pcp")
+            # classify identically to their protocol ("C").
+            protocol=REGISTRY.resolve(
+                getattr(config, "protocol", "C")).name,
             mode=mode,
             n_transactions=workload.n_transactions,
             n_sites=n_sites,

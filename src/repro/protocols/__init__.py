@@ -1,0 +1,26 @@
+"""repro.protocols — the protocol plugin registry.
+
+Importing the package registers the built-in plugins (the paper's
+L/P/PI/C/Cx plus mpcp/dpcp/fmlp) into :data:`REGISTRY`; everything
+else in the repo resolves protocols through it — config validation,
+system builders, model family classification, sanitizer checker
+selection and exec-cache fingerprints.  See DESIGN.md §12.
+"""
+
+from .registry import (CHECKER_FAMILIES, FAMILIES, MODEL_FAMILIES,
+                       PLACEMENTS, REGISTRY, ParamSpec,
+                       ProtocolRegistry, ProtocolSpec,
+                       UnknownProtocolError)
+from . import builtin  # noqa: F401  (side effect: populate REGISTRY)
+
+__all__ = [
+    "CHECKER_FAMILIES",
+    "FAMILIES",
+    "MODEL_FAMILIES",
+    "PLACEMENTS",
+    "ParamSpec",
+    "ProtocolRegistry",
+    "ProtocolSpec",
+    "REGISTRY",
+    "UnknownProtocolError",
+]

@@ -1,0 +1,123 @@
+"""Built-in protocol plugins: the paper's five plus the
+multiprocessor suite.
+
+Importing this module (which :mod:`repro.protocols` does on package
+import) populates :data:`~repro.protocols.registry.REGISTRY`.  Each
+spec is the single source of truth for the protocol's aliases, family
+classification, config schema, factories and fingerprint revision —
+no other module re-declares protocol names (lint rule RPL013).
+"""
+
+from __future__ import annotations
+
+from ..cc.deadlock import VICTIM_POLICIES
+from ..cc.dpcp import DistributedPriorityCeiling
+from ..cc.priority_ceiling import PriorityCeiling
+from ..cc.priority_inheritance import PriorityInheritance
+from ..cc.queue_locks import FMLPQueueLock, MPCP
+from ..cc.twopl import TwoPhaseLocking, TwoPhaseLockingPriority
+from .registry import REGISTRY, ParamSpec, ProtocolSpec
+
+SON_CHANG_1990 = "Son & Chang, ICDCS 1990"
+BRANDENBURG_SURVEY = "Brandenburg, arXiv:1909.09600"
+YANG_DIST = "Yang et al., arXiv:2007.00706"
+
+
+def _victim_policy_param() -> ParamSpec:
+    """The 2PL-family deadlock-resolution knob.  The paper's model is
+    ``none``: cycles are counted but only deadline misses break them
+    (the A5 ablation sweeps the alternatives)."""
+    return ParamSpec(name="victim_policy", kind="str", default="none",
+                     choices=VICTIM_POLICIES,
+                     help="deadlock victim selection policy")
+
+
+REGISTRY.register(ProtocolSpec(
+    name="L",
+    title="strict 2PL, FCFS queues and CPU",
+    family="twopl", model_family="twopl", checker="twopl",
+    factory=TwoPhaseLocking,
+    aliases=("2pl",),
+    paper=SON_CHANG_1990,
+    params=(_victim_policy_param(),),
+    paper_protocol=True,
+    overlay_rank=3,
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="P",
+    title="strict 2PL with priority queues and preemptive CPU",
+    family="twopl", model_family="twopl", checker="twopl",
+    factory=TwoPhaseLockingPriority,
+    aliases=("2pl-priority",),
+    paper=SON_CHANG_1990,
+    params=(_victim_policy_param(),),
+    paper_protocol=True,
+    overlay_rank=2,
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="PI",
+    title="2PL + basic priority inheritance",
+    family="twopl", model_family="twopl", checker="twopl",
+    factory=PriorityInheritance,
+    aliases=("inheritance",),
+    paper=f"{SON_CHANG_1990} (after Sha et al. 1987)",
+    params=(_victim_policy_param(),),
+    paper_protocol=True,
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="C",
+    title="priority ceiling protocol, read/write semantics",
+    family="ceiling", model_family="ceiling", checker="ceiling",
+    factory=PriorityCeiling,
+    aliases=("pcp", "ceiling"),
+    paper=SON_CHANG_1990,
+    paper_protocol=True,
+    overlay_rank=1,
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="Cx",
+    title="priority ceiling protocol, exclusive-only locks",
+    family="ceiling", model_family="ceiling", checker="ceiling",
+    factory=lambda kernel: PriorityCeiling(kernel,
+                                           exclusive_only=True),
+    aliases=("pcp-exclusive",),
+    paper=f"{SON_CHANG_1990} (the §5 ablation)",
+    paper_protocol=True,
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="mpcp",
+    title="multiprocessor PCP: per-resource priority queues with "
+          "global ceiling inflation",
+    family="queue", model_family="twopl", checker="twopl",
+    factory=MPCP,
+    aliases=("m-pcp",),
+    paper=f"Rajkumar 1990; {BRANDENBURG_SURVEY}",
+    params=(_victim_policy_param(),),
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="dpcp",
+    title="distributed PCP: resource-local ceiling agents at each "
+          "object's primary site",
+    family="ceiling", model_family="ceiling", checker="ceiling",
+    factory=DistributedPriorityCeiling,
+    aliases=("d-pcp",),
+    paper=f"Rajkumar/Sha; {YANG_DIST}",
+    placement="primary",
+))
+
+REGISTRY.register(ProtocolSpec(
+    name="fmlp",
+    title="FMLP-style lock: FIFO resource queues + priority "
+          "inheritance",
+    family="queue", model_family="twopl", checker="twopl",
+    factory=FMLPQueueLock,
+    aliases=("fifo-queue",),
+    paper=f"Block et al. 2007; {BRANDENBURG_SURVEY}",
+    params=(_victim_policy_param(),),
+))

@@ -1,0 +1,135 @@
+"""RPL013 — hard-coded protocol-name literals outside the registry.
+
+The protocol cast lives in :mod:`repro.protocols`; consuming layers
+(cc/dist/model/bench) must dispatch on the resolved spec's fields or
+derive sets from registry queries.  These tests pin the rule's fire
+cases, its deliberate blind spots (class ``name`` attributes, mixed
+tuples, figure-cast defaults), ``# noqa`` suppression, and — the
+acceptance gate — that the shipped package itself is clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analyze.engine import LintEngine, iter_python_files
+from repro.analyze.rules import DEFAULT_RULES, RULE_INDEX
+
+
+def lint(source, path="src/repro/cc/example.py"):
+    engine = LintEngine(DEFAULT_RULES, select=["RPL013"])
+    return engine.check_source(textwrap.dedent(source), path)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+def test_rpl013_is_registered():
+    assert "RPL013" in RULE_INDEX
+    assert any(rule.code == "RPL013" for rule in DEFAULT_RULES)
+
+
+def test_rpl013_flags_equality_compare():
+    findings = lint("""
+        def dispatch(protocol):
+            if protocol == "C":
+                return 1
+            return 0
+    """)
+    assert codes(findings) == ["RPL013"]
+    assert "'C'" in findings[0].message
+    assert "REGISTRY" in findings[0].message
+
+
+def test_rpl013_flags_membership_tuple():
+    findings = lint("""
+        def is_twopl(protocol):
+            return protocol in ("L", "P", "PI")
+    """)
+    # One finding per literal in the container.
+    assert codes(findings) == ["RPL013"] * 3
+
+
+def test_rpl013_flags_new_protocol_names():
+    findings = lint("""
+        def special(protocol):
+            return protocol != "dpcp"
+    """)
+    assert codes(findings) == ["RPL013"]
+
+
+def test_rpl013_flags_module_level_protocol_tuple():
+    findings = lint("""
+        CEILING_PROTOCOLS = ("C", "Cx")
+    """)
+    assert codes(findings) == ["RPL013"]
+    assert "registry query" in findings[0].message.lower()
+
+
+def test_rpl013_fires_in_every_scoped_layer():
+    source = """
+        def f(protocol):
+            return protocol == "fmlp"
+    """
+    for path in ("src/repro/cc/base.py",
+                 "src/repro/dist/system.py",
+                 "src/repro/model/workload.py",
+                 "src/repro/bench/figures.py"):
+        assert codes(lint(source, path=path)) == ["RPL013"], path
+
+
+def test_rpl013_silent_in_registry_and_unscoped_layers():
+    source = """
+        def f(protocol):
+            return protocol == "mpcp"
+    """
+    for path in ("src/repro/protocols/builtin.py",
+                 "src/repro/core/config.py",
+                 "src/repro/cli.py",
+                 "tests/cc/test_protocols.py"):
+        assert lint(source, path=path) == [], path
+
+
+def test_rpl013_silent_on_class_name_attribute():
+    # A protocol implementation identifying itself is the sanctioned
+    # single spelling of its own name.
+    findings = lint("""
+        class MyLock:
+            name = "mpcp"
+    """)
+    assert findings == []
+
+
+def test_rpl013_silent_on_mixed_and_empty_containers():
+    findings = lint("""
+        MODES = ("C", "global")
+        EMPTY = ()
+        NOT_PROTOCOLS = ("single", "local")
+    """)
+    assert findings == []
+
+
+def test_rpl013_silent_on_function_call_arguments():
+    # Passing a name to a resolver/config factory is normal use; only
+    # comparisons and re-declared sets are drift hazards.
+    findings = lint("""
+        def build(registry, kernel):
+            return registry.resolve("C").build(kernel)
+    """)
+    assert findings == []
+
+
+def test_rpl013_honours_noqa():
+    findings = lint("""
+        def f(protocol):
+            return protocol == "C"  # noqa: RPL013
+    """)
+    assert findings == []
+
+
+def test_rpl013_shipped_package_is_clean():
+    import repro
+    engine = LintEngine(DEFAULT_RULES, select=["RPL013"])
+    package_root = Path(repro.__file__).parent
+    for module_path in iter_python_files([package_root]):
+        assert engine.check_file(module_path) == [], module_path

@@ -66,9 +66,15 @@ def _distributed(mode: str, faulted: bool = False) -> dict:
 
 
 #: name -> zero-argument callable producing one summary row.
+#: The five single-site scenarios cover every legacy protocol letter:
+#: the registry migration (repro.protocols) is required to reproduce
+#: all of them bitwise.
 SCENARIOS = {
     "single_site_pcp": lambda: _single_site("C"),
     "single_site_2pl": lambda: _single_site("L"),
+    "single_site_2plp": lambda: _single_site("P"),
+    "single_site_pi": lambda: _single_site("PI"),
+    "single_site_pcpx": lambda: _single_site("Cx"),
     "dist_local": lambda: _distributed("local"),
     "dist_global": lambda: _distributed("global"),
     "dist_faulted": lambda: _distributed("local", faulted=True),

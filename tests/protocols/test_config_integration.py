@@ -1,0 +1,128 @@
+"""Registry integration with configs, builders and fingerprints."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import (DistributedConfig, SingleSiteConfig,
+                        SingleSiteSystem, WorkloadConfig)
+from repro.exec.fingerprint import (CODE_VERSION, config_fingerprint,
+                                    config_payload)
+from repro.protocols import REGISTRY
+
+
+def small_config(protocol, **overrides):
+    return SingleSiteConfig(
+        protocol=protocol,
+        workload=WorkloadConfig(n_transactions=10,
+                                mean_interarrival=20.0),
+        **overrides)
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+def test_unknown_protocol_message_lists_the_registry_cast():
+    config = small_config("bogus")
+    with pytest.raises(ValueError) as err:
+        config.validate()
+    # The config error IS the registry's stable message: canonical
+    # names in registration order, aliases sorted.
+    assert str(err.value) == REGISTRY.unknown_message("bogus")
+    for name in REGISTRY.names():
+        assert name in str(err.value)
+    assert "2pl" in str(err.value)  # an alias, listed dynamically
+
+
+def test_alias_configs_validate_and_build():
+    config = small_config("pcp")  # alias for C
+    config.validate()
+    system = SingleSiteSystem(config)
+    assert system.cc.name == "C"
+
+
+def test_protocol_options_are_schema_checked():
+    good = small_config("L", protocol_options=(
+        ("victim_policy", "lowest_priority"),))
+    good.validate()
+    bad_value = small_config("L", protocol_options=(
+        ("victim_policy", "everyone"),))
+    with pytest.raises(ValueError, match="must be one of"):
+        bad_value.validate()
+    bad_key = small_config("C", protocol_options=(("nope", "1"),))
+    with pytest.raises(ValueError, match="unknown option"):
+        bad_key.validate()
+
+
+def test_distributed_config_resolves_protocol_via_registry():
+    config = DistributedConfig(mode="global", protocol="d-pcp")
+    config.validate()
+    with pytest.raises(ValueError) as err:
+        DistributedConfig(mode="global", protocol="bogus").validate()
+    assert str(err.value) == REGISTRY.unknown_message("bogus")
+
+
+def test_global_mode_rejects_victim_abort():
+    # Async lock requests cannot be aborted as deadlock victims.
+    config = DistributedConfig(
+        mode="global", protocol="fmlp",
+        protocol_options=(("victim_policy", "lowest_priority"),))
+    with pytest.raises(ValueError, match="victim_policy"):
+        config.validate()
+    # The same options are fine under the synchronous local approach.
+    DistributedConfig(
+        mode="local", protocol="fmlp",
+        protocol_options=(("victim_policy", "lowest_priority"),)).validate()
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_code_version_bumped_for_the_registry_migration():
+    assert CODE_VERSION == "repro-exec-v3"
+
+
+def test_payload_carries_the_protocol_revision_token():
+    payload = json.loads(config_payload(small_config("mpcp")))
+    spec = REGISTRY.resolve("mpcp")
+    assert payload["protocol"] == f"mpcp@{spec.revision}"
+
+
+def test_payload_token_canonicalises_aliases():
+    canonical = json.loads(config_payload(small_config("C")))
+    aliased = json.loads(config_payload(small_config("pcp")))
+    assert canonical["protocol"] == aliased["protocol"]
+
+
+def test_unresolvable_protocol_still_fingerprints():
+    # Fingerprints must stay total: validation reports bad names, the
+    # cache key must never raise.
+    config = small_config("bogus")
+    payload = json.loads(config_payload(config))
+    assert "protocol" not in payload
+    assert config_fingerprint(config)
+
+
+def test_distinct_protocols_get_distinct_fingerprints():
+    prints = {config_fingerprint(small_config(name))
+              for name in REGISTRY.names()}
+    assert len(prints) == len(REGISTRY.names())
+
+
+def test_protocol_options_move_the_fingerprint():
+    base = small_config("L")
+    tuned = dataclasses.replace(
+        base, protocol_options=(("victim_policy", "lowest_priority"),))
+    assert config_fingerprint(base) != config_fingerprint(tuned)
+
+
+# ----------------------------------------------------------------------
+# public surface
+# ----------------------------------------------------------------------
+def test_package_exports_registry_and_legacy_protocols_tuple():
+    import repro
+
+    assert repro.PROTOCOL_REGISTRY is REGISTRY
+    # The legacy tuple is now registry-derived but keeps its name.
+    assert tuple(repro.PROTOCOLS) == REGISTRY.names()

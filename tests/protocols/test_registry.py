@@ -1,0 +1,213 @@
+"""Registry mechanics: registration, lookup, schemas, fingerprints.
+
+These tests build *fresh* ``ProtocolRegistry`` instances so they can
+probe failure modes (collisions, bad families) without disturbing the
+process-wide ``REGISTRY`` that the rest of the stack shares.
+"""
+
+import pytest
+
+from repro.protocols import REGISTRY
+from repro.protocols.registry import (ParamSpec, ProtocolRegistry,
+                                      ProtocolSpec,
+                                      UnknownProtocolError)
+
+
+def make_spec(name, aliases=(), family="twopl", model_family="twopl",
+              checker="twopl", placement="manager", revision="1",
+              params=()):
+    return ProtocolSpec(
+        name=name, title=f"test protocol {name}", family=family,
+        model_family=model_family, checker=checker,
+        factory=lambda kernel: ("cc", name, kernel),
+        aliases=tuple(aliases), placement=placement,
+        revision=revision, params=tuple(params))
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+def test_register_rejects_duplicate_name():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("X"))
+    with pytest.raises(ValueError, match="collides"):
+        registry.register(make_spec("X"))
+
+
+def test_register_rejects_duplicate_name_case_insensitively():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("mpcp"))
+    with pytest.raises(ValueError, match="collides"):
+        registry.register(make_spec("MPCP"))
+
+
+def test_register_rejects_alias_colliding_with_name():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("X"))
+    with pytest.raises(ValueError, match="alias 'x' collides"):
+        registry.register(make_spec("Y", aliases=("x",)))
+
+
+def test_register_rejects_alias_colliding_with_alias():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("X", aliases=("2pl",)))
+    with pytest.raises(ValueError, match="collides"):
+        registry.register(make_spec("Y", aliases=("2PL",)))
+
+
+def test_register_rejects_name_colliding_with_alias():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("X", aliases=("fifo",)))
+    with pytest.raises(ValueError, match="name collides"):
+        registry.register(make_spec("fifo"))
+
+
+@pytest.mark.parametrize("field,value", [
+    ("family", "optimistic"),
+    ("model_family", "queue"),   # queue is not an analytic family
+    ("checker", "nonsense"),
+    ("placement", "everywhere"),
+])
+def test_register_validates_enumerated_fields(field, value):
+    registry = ProtocolRegistry()
+    with pytest.raises(ValueError, match=field):
+        registry.register(make_spec("X", **{field: value}))
+
+
+# ----------------------------------------------------------------------
+# lookup
+# ----------------------------------------------------------------------
+def test_resolve_is_case_insensitive_over_names_and_aliases():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("Cx", aliases=("pcp-exclusive",)))
+    assert registry.resolve("cx").name == "Cx"
+    assert registry.resolve("CX").name == "Cx"
+    assert registry.resolve("PCP-Exclusive").name == "Cx"
+    assert "cx" in registry
+    assert "nope" not in registry
+
+
+def test_resolve_unknown_raises_with_full_cast():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("A", aliases=("alpha",)))
+    registry.register(make_spec("B", aliases=("beta",)))
+    with pytest.raises(UnknownProtocolError) as err:
+        registry.resolve("nope")
+    message = str(err.value)
+    assert message == registry.unknown_message("nope")
+    assert "'nope'" in message
+    assert "('A', 'B')" in message
+    assert "alpha, beta" in message
+
+
+def test_unknown_protocol_error_is_a_value_error():
+    # Config validation surfaces registry lookups as plain ValueError.
+    assert issubclass(UnknownProtocolError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# option schemas
+# ----------------------------------------------------------------------
+def test_validate_options_fills_defaults_and_coerces():
+    spec = make_spec("X", params=(
+        ParamSpec("victim_policy", "str", "none", ("none", "lowest")),
+        ParamSpec("depth", "int", 2),
+        ParamSpec("strict", "bool", False),
+    ))
+    assert spec.validate_options(None) == {
+        "victim_policy": "none", "depth": 2, "strict": False}
+    validated = spec.validate_options(
+        (("depth", "7"), ("strict", "true")))
+    assert validated["depth"] == 7
+    assert validated["strict"] is True
+
+
+def test_validate_options_rejects_unknown_and_duplicate_keys():
+    spec = make_spec("X", params=(ParamSpec("depth", "int", 2),))
+    with pytest.raises(ValueError, match="unknown option"):
+        spec.validate_options({"depht": 3})
+    with pytest.raises(ValueError, match="duplicate"):
+        spec.validate_options((("depth", 1), ("depth", 2)))
+
+
+def test_validate_options_enforces_choices_and_kinds():
+    spec = make_spec("X", params=(
+        ParamSpec("victim_policy", "str", "none", ("none", "lowest")),
+        ParamSpec("depth", "int", 2),
+    ))
+    with pytest.raises(ValueError, match="must be one of"):
+        spec.validate_options({"victim_policy": "everyone"})
+    with pytest.raises(ValueError, match="expects int"):
+        spec.validate_options({"depth": "many"})
+
+
+def test_build_passes_validated_options_to_the_factory():
+    calls = {}
+
+    def factory(kernel, victim_policy="none"):
+        calls["args"] = (kernel, victim_policy)
+        return "built"
+
+    spec = ProtocolSpec(
+        name="X", title="t", family="twopl", model_family="twopl",
+        checker="twopl", factory=factory,
+        params=(ParamSpec("victim_policy", "str", "none",
+                          ("none", "lowest")),))
+    assert spec.build("KERNEL", {"victim_policy": "lowest"}) == "built"
+    assert calls["args"] == ("KERNEL", "lowest")
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_token_is_stable_across_registration_order():
+    forward, backward = ProtocolRegistry(), ProtocolRegistry()
+    forward.register(make_spec("A", revision="3"))
+    forward.register(make_spec("B", revision="1"))
+    backward.register(make_spec("B", revision="1"))
+    backward.register(make_spec("A", revision="3"))
+    for name in ("A", "B"):
+        assert (forward.fingerprint_token(name)
+                == backward.fingerprint_token(name))
+    assert forward.fingerprint_token("A") == "A@3"
+
+
+def test_fingerprint_token_canonicalises_aliases():
+    registry = ProtocolRegistry()
+    registry.register(make_spec("C", aliases=("pcp",), revision="2"))
+    assert registry.fingerprint_token("pcp") == "C@2"
+    assert registry.fingerprint_token("C") == "C@2"
+
+
+# ----------------------------------------------------------------------
+# derived queries on the shared registry
+# ----------------------------------------------------------------------
+def test_shared_registry_has_the_full_cast():
+    names = REGISTRY.names()
+    assert names[:5] == ("L", "P", "PI", "C", "Cx")
+    for modern in ("mpcp", "dpcp", "fmlp"):
+        assert modern in names
+
+
+def test_shared_registry_paper_protocols_are_exactly_five():
+    paper = [spec.name for spec in REGISTRY.specs()
+             if spec.paper_protocol]
+    assert paper == ["L", "P", "PI", "C", "Cx"]
+
+
+def test_model_families_partition_the_cast():
+    ceiling = set(REGISTRY.model_family_names("ceiling"))
+    twopl = set(REGISTRY.model_family_names("twopl"))
+    assert ceiling & twopl == set()
+    assert ceiling | twopl == set(REGISTRY.names())
+
+
+def test_overlay_cast_orders_by_rank():
+    assert REGISTRY.overlay_cast() == ("C", "P", "L")
+
+
+def test_checker_family_falls_back_to_none_for_strangers():
+    assert REGISTRY.checker_family("dpcp") == "ceiling"
+    assert REGISTRY.checker_family("fmlp") == "twopl"
+    assert REGISTRY.checker_family("not-a-protocol") is None
+    assert REGISTRY.checker_family(None) is None
