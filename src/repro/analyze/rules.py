@@ -59,6 +59,13 @@ failure mode in this repository:
   the registry exists to prevent.  Dispatch on the resolved spec's
   fields or derive sets from registry queries instead.
 
+- **RPL014 — host clock outside the sanctioned gateway.**  In ``cc``,
+  ``dist``, ``kernel`` and ``telemetry`` even *elapsed* host time
+  (``time.perf_counter()``, ``monotonic()`` — allowed elsewhere by
+  RPL001) must route through ``repro.telemetry.hostclock.host_clock``
+  so every host-time read in the determinism-critical layers is
+  auditable in one place.
+
 Each rule reports ``(code, line, col, message)`` findings through the
 engine; suppress a deliberate occurrence with ``# noqa: <code>``.
 """
@@ -821,6 +828,69 @@ class ProtocolLiteralRule(Rule):
                     "registered protocols are never missed")
 
 
+class HostClockGatewayRule(Rule):
+    """RPL014: direct host-clock call outside the sanctioned gateway.
+
+    RPL001 already bans wall-clock *absolute* time in simulation code
+    but deliberately allows ``time.perf_counter()`` / ``monotonic()``
+    for harness timing.  In the determinism-critical layers — ``cc``,
+    ``dist``, ``kernel`` and ``telemetry`` — even elapsed host time
+    must flow through one audited helper,
+    :func:`repro.telemetry.hostclock.host_clock`, so a reviewer can
+    find every host-time read in those layers with a single grep and
+    the metrics artifacts can never silently mix host and simulated
+    timestamps.  Both the call forms (``time.perf_counter()``) and the
+    from-imports (``from time import perf_counter``) are flagged; the
+    gateway module itself is exempt.
+    """
+
+    code = "RPL014"
+    name = "host-clock-outside-gateway"
+    #: Directory names this rule patrols.
+    scoped_parts = ("cc", "dist", "kernel", "telemetry")
+    #: Module basenames allowed to touch the host clock directly.
+    gateway_modules = ("hostclock.py",)
+    #: Everything on the ``time`` module that reads a host clock.
+    banned = (_WALL_CLOCK_TIME
+              | {"perf_counter", "perf_counter_ns", "monotonic",
+                 "monotonic_ns", "process_time", "process_time_ns"})
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        normalized = path.replace("\\", "/")
+        if normalized.rsplit("/", 1)[-1] in self.gateway_modules:
+            return False
+        return any(_is_path_part(path, part)
+                   for part in self.scoped_parts)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        time_aliases = _module_aliases(tree, "time")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for item in node.names:
+                    if item.name in self.banned:
+                        yield self.finding(
+                            path, node,
+                            f"'from time import {item.name}' in a "
+                            f"determinism-critical layer; route host "
+                            f"timing through repro.telemetry.hostclock"
+                            f".host_clock()")
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in time_aliases
+                    and func.attr in self.banned):
+                yield self.finding(
+                    path, node,
+                    f"direct host-clock call time.{func.attr}() in a "
+                    f"determinism-critical layer; route host timing "
+                    f"through repro.telemetry.hostclock.host_clock()")
+
+
 #: The syntactic rule set, in code order.  The flow-aware rules
 #: (RPL010-RPL012) live in :mod:`repro.analyze.flow_rules`; they are
 #: appended below so the shipped registry stays one tuple.
@@ -835,6 +905,7 @@ _SYNTACTIC_RULES = (
     UnguardedTracerRule(),
     BlockingTaxonomyRule(),
     ProtocolLiteralRule(),
+    HostClockGatewayRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -849,6 +920,7 @@ RULE_INDEX = {
     "RPL008": "tracer event call outside an 'is not None' guard",
     "RPL009": "re-declared blocking-category string literal",
     "RPL013": "hard-coded protocol-name literal outside the registry",
+    "RPL014": "host-clock call outside the hostclock gateway",
 }
 
 # Imported at the bottom on purpose: flow_rules subclasses Rule from

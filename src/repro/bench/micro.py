@@ -37,6 +37,8 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..exec.host import peak_rss_kb
+
 #: Benchmarks the CI regression gate checks by default: the acceptance
 #: metrics of the optimization pass (raw dispatch and the single-site
 #: microbench), chosen because they are the least noisy.
@@ -51,15 +53,6 @@ _SIZES = {
     "single_site": (400, 120),
     "distributed": (150, 60),
 }
-
-
-def _peak_rss_kb() -> Optional[int]:
-    """Process peak RSS in KB (Linux semantics), or None off-POSIX."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _reset_counters() -> None:
@@ -191,6 +184,26 @@ def _bench_traced_single_site(n: int) -> int:
     return int(row["processed"])
 
 
+def _bench_metered_event_dispatch(n: int) -> int:
+    from ..telemetry.registry import metering
+    with metering():
+        return _bench_event_dispatch(n)
+
+
+def _bench_metered_single_site(n: int) -> int:
+    from ..core.experiment import run_single_site
+    from ..telemetry.registry import metering
+    _reset_counters()
+    with metering():
+        row = run_single_site(_single_site_config("C", n))
+    return int(row["processed"])
+
+
+#: Metered benchmark -> plain baseline; priced as overhead ratios and
+#: gated by ``--max-metrics-overhead`` (the ISSUE's <=10% budget).
+METERED_PAIRS = {"metered_event_dispatch": "event_dispatch",
+                 "metered_single_site": "single_site_pcp"}
+
 #: name -> (size key, body).  Declaration order is report order.
 BENCHMARKS: Dict[str, Tuple[str, Callable[[int], int]]] = {
     "calibration": ("calibration", _bench_calibration),
@@ -202,6 +215,9 @@ BENCHMARKS: Dict[str, Tuple[str, Callable[[int], int]]] = {
     "dist_local": ("distributed", _bench_dist_local),
     "dist_global": ("distributed", _bench_dist_global),
     "traced_single_site": ("single_site", _bench_traced_single_site),
+    "metered_event_dispatch": ("event_dispatch",
+                               _bench_metered_event_dispatch),
+    "metered_single_site": ("single_site", _bench_metered_single_site),
 }
 
 
@@ -246,7 +262,7 @@ def run_bench(quick: bool = False, only: Optional[Sequence[str]] = None,
             "wall_s": best,
             "wall_s_all": walls,
             "ops_per_sec": rate,
-            "peak_rss_kb": _peak_rss_kb(),
+            "peak_rss_kb": peak_rss_kb(),
         }
         if name == "calibration":
             calibration_rate = rate
@@ -260,6 +276,13 @@ def run_bench(quick: bool = False, only: Optional[Sequence[str]] = None,
         if traced > 0:
             results["traced_single_site"]["tracer_overhead_x"] = (
                 untraced / traced)
+    for metered_name, plain_name in METERED_PAIRS.items():
+        if metered_name in results and plain_name in results:
+            plain = results[plain_name]["ops_per_sec"]
+            metered = results[metered_name]["ops_per_sec"]
+            if metered > 0:
+                results[metered_name]["metrics_overhead_x"] = (
+                    plain / metered)
     import platform
     return {
         "schema": "repro-bench/1",
@@ -310,7 +333,32 @@ def format_doc(doc: dict) -> str:
         lines.append(f"tracer overhead: "
                      f"{traced['tracer_overhead_x']:.2f}x the untraced "
                      f"single-site run")
+    for metered_name, plain_name in METERED_PAIRS.items():
+        metered = doc["results"].get(metered_name, {})
+        if "metrics_overhead_x" in metered:
+            lines.append(f"metrics overhead ({metered_name}): "
+                         f"{metered['metrics_overhead_x']:.2f}x the "
+                         f"plain {plain_name} run")
     return "\n".join(lines)
+
+
+def metrics_overhead_violations(doc: dict,
+                                limit: float) -> List[str]:
+    """Metered benchmarks whose slowdown exceeds ``limit``.
+
+    ``limit`` is a ratio ceiling (1.10 == at most 10% slower than the
+    plain baseline).  Pairs the document lacks are skipped — the gate
+    only applies to what actually ran.
+    """
+    messages = []
+    for metered_name in METERED_PAIRS:
+        overhead = doc["results"].get(metered_name, {}).get(
+            "metrics_overhead_x")
+        if overhead is not None and overhead > limit:
+            messages.append(
+                f"{metered_name}: {overhead:.3f}x exceeds the "
+                f"{limit:.2f}x metrics-overhead ceiling")
+    return messages
 
 
 # ----------------------------------------------------------------------
@@ -407,9 +455,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the table only; write no artifact")
     parser.add_argument("--json", action="store_true",
                         help="print the JSON document to stdout")
+    parser.add_argument("--max-metrics-overhead", type=float,
+                        default=None, metavar="RATIO",
+                        help="fail (exit 1) when a metered benchmark "
+                             "is more than RATIO x its plain baseline "
+                             "(e.g. 1.10 gates at 10%% overhead)")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if (args.max_metrics_overhead is not None
+            and args.max_metrics_overhead < 1.0):
+        print("error: --max-metrics-overhead must be >= 1.0",
+              file=sys.stderr)
         return 2
     only = ([token.strip() for token in args.only.split(",")
              if token.strip()] if args.only else None)
@@ -426,6 +484,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_write:
         path = write_doc(doc, args.out)
         print(f"\nwrote {path}", file=sys.stderr)
+    if args.max_metrics_overhead is not None:
+        violations = metrics_overhead_violations(
+            doc, args.max_metrics_overhead)
+        if violations:
+            print("\nMETRICS OVERHEAD:", file=sys.stderr)
+            for message in violations:
+                print(f"  {message}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -27,6 +27,8 @@ from typing import Iterable, List, Optional
 from ..analyze.sanitizer import current_sanitizer
 from ..constants import BLOCKING_CEILING, BLOCKING_DIRECT
 from ..db.locks import LockMode, LockTable
+from ..telemetry.probes import CCProbe
+from ..telemetry.registry import current_metrics
 from ..trace.tracer import current_tracer
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
@@ -147,6 +149,11 @@ class ConcurrencyControl:
         #: Structured event tracer (repro.trace); None keeps every
         #: hook site a single attribute test, like the sanitizer.
         self.tracer = current_tracer()
+        #: Metrics probe (repro.telemetry); None when metering is off,
+        #: honoring the same zero-cost-when-off contract.
+        registry = current_metrics()
+        self.meter = (CCProbe(registry, self.name)
+                      if registry is not None else None)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -181,6 +188,9 @@ class ConcurrencyControl:
                 if tracer is not None:
                     tracer.lock_grant(kernel.now, txn, oid, mode,
                                       waited=False)
+                if self.meter is not None:
+                    self.meter.on_grant(kernel.now, txn, oid,
+                                        waited=False)
                 return Immediate(None)
             self.stats.blocks += 1
             conflicts = self.locks.conflicting_holders(oid, txn, mode)
@@ -200,6 +210,8 @@ class ConcurrencyControl:
                 tracer.lock_block(
                     kernel.now, txn, oid, mode, cause,
                     conflicts or self._trace_blockers(request))
+            if self.meter is not None:
+                self.meter.on_block(kernel.now, request, cause)
             # _on_block may raise a TransactionAbort into the requester
             # (deadlock victim); it must leave protocol state clean if so.
             self._on_block(request)
@@ -231,6 +243,9 @@ class ConcurrencyControl:
             if tracer is not None:
                 tracer.lock_grant(self.kernel.now, txn, oid, mode,
                                   waited=False)
+            if self.meter is not None:
+                self.meter.on_grant(self.kernel.now, txn, oid,
+                                    waited=False)
             return True
         self.stats.blocks += 1
         conflicts = self.locks.conflicting_holders(oid, txn, mode)
@@ -250,6 +265,8 @@ class ConcurrencyControl:
         if tracer is not None:
             tracer.lock_block(self.kernel.now, txn, oid, mode, cause,
                               conflicts or self._trace_blockers(request))
+        if self.meter is not None:
+            self.meter.on_block(self.kernel.now, request, cause)
         self._on_block(request)
         self._after_change()
         return False
@@ -265,6 +282,8 @@ class ConcurrencyControl:
             if self.tracer is not None:
                 self.tracer.lock_withdraw(self.kernel.now, request.txn,
                                           request.oid)
+            if self.meter is not None:
+                self.meter.on_withdraw(self.kernel.now, request)
         if stale:
             self._reevaluate()
         return len(stale)
@@ -276,6 +295,8 @@ class ConcurrencyControl:
             self.sanitizer.on_release_all(txn, freed)
         if self.tracer is not None and freed:
             self.tracer.lock_release(self.kernel.now, txn, freed)
+        if self.meter is not None and freed:
+            self.meter.on_release(self.kernel.now, txn, freed)
         if freed or txn in self._inheriting:
             self._reevaluate()
         return freed
@@ -342,6 +363,11 @@ class ConcurrencyControl:
             self.tracer.lock_grant(self.kernel.now, request.txn,
                                    request.oid, request.mode,
                                    waited=True)
+        if self.meter is not None:
+            now = self.kernel.now
+            self.meter.on_unblock(now, request, now - request.since)
+            self.meter.on_grant(now, request.txn, request.oid,
+                                waited=True)
         if request.on_grant is not None:
             request.on_grant()
         else:
@@ -354,6 +380,8 @@ class ConcurrencyControl:
             if self.tracer is not None:
                 self.tracer.lock_withdraw(self.kernel.now, request.txn,
                                           request.oid)
+            if self.meter is not None:
+                self.meter.on_withdraw(self.kernel.now, request)
         self._reevaluate()
 
     def _enqueue(self, request: Request) -> None:

@@ -174,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the figures and ablations of Son & "
                     "Chang (ICDCS 1990).")
     choices = list(COMMANDS) + ["all", "lint", "verify", "faults",
-                                "run", "trace",
+                                "run", "trace", "metrics",
                                 "bench", "validate-model", "sweep"]
     parser.add_argument("command", choices=choices,
                         help="which figure/ablation to run "
@@ -289,6 +289,13 @@ def _run_main(argv: List[str]) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="with --trace: append the hottest-lock / "
                              "longest-inversion profile trailer")
+    parser.add_argument("--metrics", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="write per-unit metrics artifacts "
+                             "(*.metrics.jsonl time series) to DIR "
+                             "(default: <cache-dir>/metrics); disables "
+                             "the result cache so every unit is re-run "
+                             "under the metrics registry")
     args = parser.parse_args(argv)
     if args.replications < 1 or args.transactions < 1:
         print("error: --replications and --transactions must be >= 1",
@@ -325,6 +332,15 @@ def _run_main(argv: List[str]) -> int:
         os.environ[ENV_TRACE_DIR] = trace_dir
         # Cached rows would skip the traced re-run: force computation.
         opts = dataclasses.replace(opts, cache=None)
+    metrics_dir = None
+    if args.metrics is not None:
+        from .telemetry.registry import ENV_METRICS_DIR
+        metrics_dir = args.metrics or os.path.join(
+            args.cache_dir or default_cache_dir(), "metrics")
+        os.makedirs(metrics_dir, exist_ok=True)
+        os.environ[ENV_METRICS_DIR] = metrics_dir
+        # Cached rows would skip the metered re-run: force computation.
+        opts = dataclasses.replace(opts, cache=None)
     modes = (["local", "global"] if args.mode == "both"
              else [args.mode])
     shown = ("percent_missed", "throughput", "messages_sent",
@@ -357,6 +373,8 @@ def _run_main(argv: List[str]) -> int:
                 print(f"  {key:<20} {row[key]:.6g}")
         if trace_dir is not None:
             _print_trace_summary(config, trace_dir, args.profile)
+        if metrics_dir is not None:
+            _print_metrics_summary(config, metrics_dir)
         print()
     return 0
 
@@ -401,6 +419,17 @@ def _sweep_main(argv: List[str]) -> int:
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--progress", action="store_true")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="live multi-line TTY dashboard (unit "
+                             "throughput, cache hits, host RSS, latest "
+                             "summary row) plus a fleet-telemetry "
+                             "trailer; degrades to plain lines off-TTY")
+    parser.add_argument("--metrics", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="write per-unit metrics artifacts "
+                             "(*.metrics.jsonl) to DIR (default: "
+                             "<cache-dir>/metrics); disables the "
+                             "result cache")
     args = parser.parse_args(argv)
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)
@@ -435,6 +464,20 @@ def _sweep_main(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     opts = _exec_options(args)
+    if args.metrics is not None:
+        from .telemetry.registry import ENV_METRICS_DIR
+        sweep_metrics_dir = args.metrics or os.path.join(
+            args.cache_dir or default_cache_dir(), "metrics")
+        os.makedirs(sweep_metrics_dir, exist_ok=True)
+        os.environ[ENV_METRICS_DIR] = sweep_metrics_dir
+        # Cached rows would skip the metered re-run: force computation.
+        opts = dataclasses.replace(opts, cache=None)
+    fleet = None
+    if args.dashboard:
+        from .exec import Dashboard, FleetTelemetry
+        fleet = FleetTelemetry()
+        opts = dataclasses.replace(opts,
+                                   progress=Dashboard(sys.stderr))
     configs = [config for __, __, config in grid]
     header = (f"{'':>1}{'protocol':>9} {'size':>5} "
               f"{args.metric:>16} {'source':>7}")
@@ -461,7 +504,7 @@ def _sweep_main(argv: List[str]) -> int:
         return 0
     from .core.experiment import replicate_many
     rows = replicate_many(configs, replications=args.replications,
-                          **opts.kwargs())
+                          fleet=fleet, **opts.kwargs())
     print(header)
     for (protocol, size, __), row in zip(grid, rows):
         if args.metric not in row:
@@ -470,6 +513,10 @@ def _sweep_main(argv: List[str]) -> int:
             return 2
         print(f" {protocol:>9} {size:>5} "
               f"{row[args.metric]:>16.3f} {'sim':>7}")
+    if fleet is not None:
+        from .exec import format_fleet_report
+        print()
+        print(format_fleet_report(fleet.report()))
     return 0
 
 
@@ -497,6 +544,25 @@ def _print_trace_summary(config, trace_dir: str,
         print(profile_text(run))
 
 
+def _print_metrics_summary(config, metrics_dir: str) -> None:
+    """Summarize the first replication's metrics artifact for one mode.
+
+    Same fingerprint convention as the trace summary: the first unit
+    of a ``replicate`` call runs ``config`` with seed ``base_seed``
+    (1).
+    """
+    from .exec.fingerprint import config_fingerprint
+    from .telemetry.export import load_metrics_jsonl
+    from .telemetry.export import summary_text as metrics_summary_text
+    fp = config_fingerprint(dataclasses.replace(config, seed=1))
+    artifact = os.path.join(metrics_dir, fp + ".metrics.jsonl")
+    if not os.path.exists(artifact):
+        print(f"  (no metrics artifact at {artifact})")
+        return
+    print(f"[metrics] first replication artifact: {artifact}")
+    print(metrics_summary_text(load_metrics_jsonl(artifact)))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     raw = sys.argv[1:] if argv is None else list(argv)
     if raw and raw[0] == "lint":
@@ -512,6 +578,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if raw and raw[0] == "trace":
         from .trace.cli import main as trace_main
         return trace_main(raw[1:])
+    if raw and raw[0] == "metrics":
+        from .telemetry.cli import main as metrics_main
+        return metrics_main(raw[1:])
     if raw and raw[0] == "run":
         return _run_main(raw[1:])
     if raw and raw[0] == "bench":

@@ -48,7 +48,7 @@ def run_distributed(config: DistributedConfig) -> dict:
 def replicate_many(configs: Sequence[object], replications: int = 10,
                    base_seed: int = 1, *, jobs: Optional[int] = None,
                    cache: CacheSpec = None,
-                   progress=None) -> List[Dict[str, float]]:
+                   progress=None, fleet=None) -> List[Dict[str, float]]:
     """Replicate several configurations in one engine run.
 
     All ``len(configs) * replications`` units fan out together, so a
@@ -60,7 +60,8 @@ def replicate_many(configs: Sequence[object], replications: int = 10,
     units = plan_batch(configs, replications=replications,
                        base_seed=base_seed)
     result = run_units(units, jobs=jobs, cache=cache,
-                       progress=progress).require_success()
+                       progress=progress,
+                       fleet=fleet).require_success()
     summaries: List[Dict[str, float]] = []
     for group in range(len(configs)):
         rows = [row for unit, row in zip(units, result.rows)

@@ -26,6 +26,8 @@ exactly-once protocol state.
 from __future__ import annotations
 
 from ..kernel.errors import Timeout
+from ..telemetry.probes import CommsProbe
+from ..telemetry.registry import current_metrics
 from ..trace.tracer import current_tracer
 
 
@@ -51,6 +53,10 @@ class RecoveryPolicy:
         self.cap = cap
         self.attempts = attempts
         self.stats = stats
+        registry = current_metrics()
+        #: Retry/backoff metrics probe, or None when metering is off.
+        self.meter = (CommsProbe(registry)
+                      if registry is not None else None)
 
     @classmethod
     def from_plan(cls, plan, comm_delay: float,
@@ -144,9 +150,14 @@ class ReliableComms:
                         patience = policy.cap
                         continue
                     stats.stale_replies += 1
+                    if policy.meter is not None:
+                        policy.meter.on_stale(self.site.kernel.now)
             except Timeout:
                 stats.rpc_timeouts += 1
                 stats.rpc_retries += 1
+                if policy.meter is not None:
+                    policy.meter.on_timeout(self.site.kernel.now)
+                    policy.meter.on_retry(self.site.kernel.now)
                 if tracer is not None:
                     tracer.msg_retry(self.site.kernel.now,
                                      self.site.site_id, dst, self.tid,
@@ -184,12 +195,18 @@ class ReliableComms:
                     origin = classify(response)
                     if origin is None or origin not in pending:
                         stats.stale_replies += 1
+                        if policy.meter is not None:
+                            policy.meter.on_stale(self.site.kernel.now)
                         continue
                     got[origin] = response
                     pending.remove(origin)
             except Timeout:
                 stats.rpc_timeouts += 1
                 stats.rpc_retries += len(pending)
+                if policy.meter is not None:
+                    policy.meter.on_timeout(self.site.kernel.now)
+                    policy.meter.on_retry(self.site.kernel.now,
+                                          len(pending))
                 if tracer is not None:
                     for dst in pending:
                         tracer.msg_retry(self.site.kernel.now,
@@ -224,6 +241,8 @@ def courier(site, dst: int, build, policy: RecoveryPolicy,
                 if tracer is not None:
                     tracer.msg_retry(site.kernel.now, site.site_id,
                                      dst, None, label)
+                if policy.meter is not None:
+                    policy.meter.on_courier_retry(site.kernel.now)
             site.send(dst, build(reply.address))
             try:
                 while True:
@@ -231,10 +250,16 @@ def courier(site, dst: int, build, policy: RecoveryPolicy,
                     if match is None or match(response):
                         return True
                     stats.stale_replies += 1
+                    if policy.meter is not None:
+                        policy.meter.on_stale(site.kernel.now)
             except Timeout:
                 stats.rpc_timeouts += 1
+                if policy.meter is not None:
+                    policy.meter.on_timeout(site.kernel.now)
             timeout = policy.escalate(timeout)
         stats.courier_failures += 1
+        if policy.meter is not None:
+            policy.meter.on_courier_failure(site.kernel.now)
         return False
     finally:
         reply.close()

@@ -36,6 +36,8 @@ from ..cc.base import ConcurrencyControl
 from ..db.locks import LockMode
 from ..db.replication import ReplicaCatalog
 from ..kernel.timers import DeadlineTimer
+from ..telemetry.probes import TwoPCProbe
+from ..telemetry.registry import current_metrics
 from ..trace.tracer import current_tracer
 from ..txn.manager import CostModel
 from ..txn.transaction import (DeadlineMiss, Transaction,
@@ -288,6 +290,13 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
     tracer = current_tracer()
     if tracer is not None:
         tracer.txn_start(kernel.now, txn)
+    probe = kernel.txn_telemetry
+    if probe is not None:
+        probe.on_start(kernel.now)
+    registry = current_metrics()
+    # Instruments are get-or-create by name, so per-transaction probe
+    # construction shares the same registry series.
+    tpc_probe = TwoPCProbe(registry) if registry is not None else None
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     reply = site.make_reply_port(f"txn{txn.tid}")
@@ -315,6 +324,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
 
         for oid, mode in txn.operations:
             blocked_at = kernel.now
+            if probe is not None:
+                probe.on_block(blocked_at)
             yield from comms.request(
                 gcm_site if router is None else router(oid),
                 lambda oid=oid, mode=mode: LockRequest(
@@ -326,6 +337,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                           and m.oid == oid),
                 interim=lambda m, oid=oid: (isinstance(m, LockQueued)
                                             and m.oid == oid))
+            if probe is not None:
+                probe.on_unblock(kernel.now, kernel.now - blocked_at)
             txn.blocked_time += kernel.now - blocked_at
             home = catalog.primary_site(oid)
             if home == txn.site:
@@ -356,6 +369,7 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 if home != txn.site:
                     by_site[home].append(oid)
             if not comms.recovery:
+                prepare_at = kernel.now
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "prepare",
                                   participants)
@@ -369,9 +383,13 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                     yield reply.receive()  # Vote (all yes in this model)
                 prepared = list(participants)
                 decided_commit = True
+                decide_at = kernel.now
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "decide",
                                   participants, commit=True)
+                if tpc_probe is not None:
+                    tpc_probe.on_phase(decide_at, "prepare",
+                                       decide_at - prepare_at)
                 for participant in participants:
                     site.send(participant,
                               Decide(target=COMMIT_SERVICE,
@@ -384,9 +402,13 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 prepared = []
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "done", participants)
+                if tpc_probe is not None:
+                    tpc_probe.on_phase(kernel.now, "decide",
+                                       kernel.now - decide_at)
             else:
                 tpc = TwoPhaseCommit(txn.tid, participants)
                 tpc.start()
+                prepare_at = kernel.now
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "prepare",
                                   participants)
@@ -406,9 +428,13 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                                     votes[participant].commit)
                 prepared = list(participants)
                 decided_commit = tpc.decision_commit
+                decide_at = kernel.now
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "decide",
                                   participants, commit=decided_commit)
+                if tpc_probe is not None:
+                    tpc_probe.on_phase(decide_at, "prepare",
+                                       decide_at - prepare_at)
                 yield from comms.gather(
                     participants,
                     lambda dst: Decide(target=COMMIT_SERVICE,
@@ -425,6 +451,9 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
                 prepared = []
                 if tracer is not None:
                     tracer.two_pc(kernel.now, txn, "done", participants)
+                if tpc_probe is not None:
+                    tpc_probe.on_phase(kernel.now, "decide",
+                                       kernel.now - decide_at)
         if costs.commit_cpu > 0:
             yield site.cpu.use(costs.commit_cpu)
         for manager in manager_sites:
@@ -438,6 +467,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
         txn.mark_committed(kernel.now)
         if tracer is not None:
             tracer.txn_commit(kernel.now, txn)
+        if probe is not None:
+            probe.on_commit(kernel.now)
     except TransactionAbort:
         # Resolve any in-doubt participants, then free the locks.  If
         # the decision was already commit when the abort struck (a lost
@@ -466,6 +497,8 @@ def global_transaction_manager(sites: List[Site], gcm_site: int,
         txn.mark_missed(kernel.now)
         if tracer is not None:
             tracer.txn_miss(kernel.now, txn, reason="deadline")
+        if probe is not None:
+            probe.on_renege(kernel.now)
     finally:
         timer.cancel()
         reply.close()

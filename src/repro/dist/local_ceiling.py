@@ -182,12 +182,19 @@ def local_transaction_manager(sites: List[Site],
     tracer = cc.tracer
     if tracer is not None:
         tracer.txn_start(kernel.now, txn)
+    probe = kernel.txn_telemetry
+    if probe is not None:
+        probe.on_start(kernel.now)
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     try:
         for oid, mode in txn.operations:
             blocked_at = kernel.now
+            if probe is not None:
+                probe.on_block(blocked_at)
             yield cc.acquire(txn, oid, mode)
+            if probe is not None:
+                probe.on_unblock(kernel.now, kernel.now - blocked_at)
             txn.blocked_time += kernel.now - blocked_at
             yield site.cpu.use(costs.cpu_per_object)
             data_object = site.database.object(oid)
@@ -209,6 +216,8 @@ def local_transaction_manager(sites: List[Site],
             cc.sanitizer.on_commit(txn)
         if tracer is not None:
             tracer.txn_commit(kernel.now, txn)
+        if probe is not None:
+            probe.on_commit(kernel.now)
         # R3: committed first, now propagate asynchronously.
         if policy is None:
             for oid in sorted(txn.write_set):
@@ -234,6 +243,8 @@ def local_transaction_manager(sites: List[Site],
         txn.mark_missed(kernel.now)
         if tracer is not None:
             tracer.txn_miss(kernel.now, txn, reason="deadline")
+        if probe is not None:
+            probe.on_renege(kernel.now)
     finally:
         timer.cancel()
         cc.deregister(txn)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..kernel.kernel import Kernel
+from ..telemetry.probes import NetworkProbe
+from ..telemetry.registry import current_metrics
 from ..trace.tracer import current_tracer
 from .message import Message
 
@@ -33,6 +35,10 @@ class Network:
             raise ValueError("delays must be non-negative")
         self.kernel = kernel
         self.tracer = current_tracer()
+        registry = current_metrics()
+        #: In-flight/drop/delay probe, or None when metering is off.
+        self.meter = (NetworkProbe(registry)
+                      if registry is not None else None)
         self.n_sites = n_sites
         self.delay = delay
         self.local_delay = local_delay
@@ -106,6 +112,12 @@ class Network:
             if not fates:
                 self.tracer.msg_drop(self.kernel.now, dst, message,
                                      reason="injected")
+        if self.meter is not None:
+            now = self.kernel.now
+            for _ in fates:
+                self.meter.on_send(now, message.sender_site, dst)
+            if not fates:
+                self.meter.on_drop(now, in_flight=False)
 
         def deliver(lag: float) -> None:
             # Operational state — and the delay ledger — are evaluated
@@ -117,11 +129,15 @@ class Network:
                 if self.tracer is not None:
                     self.tracer.msg_drop(self.kernel.now, dst, message,
                                          reason="site-down")
+                if self.meter is not None:
+                    self.meter.on_drop(self.kernel.now)
             else:
                 self.bytes_delay_total += lag
                 if self.tracer is not None:
                     self.tracer.msg_deliver(self.kernel.now, dst,
                                             message, lag)
+                if self.meter is not None:
+                    self.meter.on_deliver(self.kernel.now, lag)
                 inbox.send(message)
 
         for lag in fates:

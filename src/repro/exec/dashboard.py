@@ -1,0 +1,137 @@
+"""Live TTY dashboard for sweeps (``repro sweep --dashboard``).
+
+A multi-line ANSI panel redrawn in place as units settle:
+
+    ┌ repro sweep ──────────────────────────────────────┐
+    progress   [##########----------]  37/105 units
+    fleet      8.3 u/s · 12 cached · 1 failed · 4/4 workers
+    host       wall 12.4s · unit mean 0.31s · rss 84 MB
+    latest     seed=2017 processed=80 missed=3
+
+On a non-TTY stream it degrades to the one-line-per-update behavior of
+:class:`~repro.exec.progress.TextProgress` (no cursor control), so CI
+logs stay readable.  The dashboard is a pure observer: it reads
+settlement notifications and never touches simulation state.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from .host import peak_rss_kb
+from .progress import NullProgress
+
+#: Summary-row keys worth surfacing as the "latest" headline, in
+#: preference order (only those present in the row are shown).
+_HEADLINE_KEYS = ("seed", "protocol", "mode", "processed", "committed",
+                  "missed", "restarts", "success_ratio",
+                  "messages_lost")
+
+_BAR_WIDTH = 24
+
+
+class Dashboard(NullProgress):
+    """Multi-line live panel; degrades to plain lines off-TTY."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_interval: float = 0.25, title: str = "repro sweep"):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.title = title
+        self._started = 0.0
+        self._last_emit = 0.0
+        self._drawn_lines = 0
+        self._latest_row: Optional[dict] = None
+        self._unit_walls: List[float] = []
+
+    # -- progress protocol --------------------------------------------
+    def start(self, stats) -> None:
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+        self._drawn_lines = 0
+        self._latest_row = None
+        self._unit_walls = []
+
+    def unit_done(self, unit, wall_s, cached, batch=1, failed=False,
+                  row=None) -> None:
+        if row is not None:
+            self._latest_row = row
+        if not cached and not failed:
+            self._unit_walls.append(wall_s)
+
+    def update(self, stats) -> None:
+        now = time.monotonic()
+        if now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        self._draw(stats, now - self._started)
+
+    def finish(self, stats) -> None:
+        if not self._drawn_lines and not self._last_emit:
+            return
+        self._draw(stats, time.monotonic() - self._started)
+        if self._is_tty():
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- rendering ----------------------------------------------------
+    def _is_tty(self) -> bool:
+        return bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def _draw(self, stats, elapsed: float) -> None:
+        lines = self._render(stats, elapsed)
+        if self._is_tty():
+            out = ""
+            if self._drawn_lines:
+                # Move back to the panel's first line and repaint.
+                out += f"\x1b[{self._drawn_lines}F"
+            out += "".join(f"\x1b[2K{line}\n" for line in lines)
+            self.stream.write(out)
+            self._drawn_lines = len(lines)
+        else:
+            self.stream.write(" | ".join(lines) + "\n")
+        self.stream.flush()
+
+    def _render(self, stats, elapsed: float) -> List[str]:
+        done = stats.done
+        total = max(stats.total, 1)
+        filled = int(_BAR_WIDTH * done / total)
+        bar = "#" * filled + "-" * (_BAR_WIDTH - filled)
+        lines = [f"[{self.title}] {elapsed:6.1f}s",
+                 f"progress   [{bar}] {done}/{stats.total} units"]
+        fleet = [f"{stats.cache_hits} cached"]
+        if stats.failures:
+            fleet.append(f"{stats.failures} failed")
+        if stats.retries:
+            fleet.append(f"{stats.retries} retried")
+        if elapsed > 0 and stats.computed:
+            rate = stats.computed / elapsed
+            fleet.insert(0, f"{rate:.1f} u/s")
+            remaining = stats.total - done
+            if remaining > 0 and rate > 0:
+                fleet.append(f"ETA {remaining / rate:.0f}s")
+        fleet.append(f"{stats.in_flight}/{stats.jobs} workers")
+        lines.append("fleet      " + " · ".join(fleet))
+        host = [f"wall {elapsed:.1f}s"]
+        if self._unit_walls:
+            mean = sum(self._unit_walls) / len(self._unit_walls)
+            host.append(f"unit mean {mean:.2f}s")
+            host.append(f"unit max {max(self._unit_walls):.2f}s")
+        rss = peak_rss_kb()
+        if rss:
+            host.append(f"rss {rss / 1024:.0f} MB")
+        lines.append("host       " + " · ".join(host))
+        if self._latest_row is not None:
+            row = self._latest_row
+            shown = []
+            for key in _HEADLINE_KEYS:
+                if key in row:
+                    value = row[key]
+                    text = (f"{value:.3g}" if isinstance(value, float)
+                            else str(value))
+                    shown.append(f"{key}={text}")
+            if shown:
+                lines.append("latest     " + " ".join(shown[:6]))
+        return lines

@@ -48,6 +48,10 @@ class ExecutionResult:
     rows: List[Optional[dict]]
     failures: List[UnitFailure]
     stats: ExecutionStats
+    #: Sweep-level fleet telemetry report (host-side wall/RSS/cache
+    #: roll-up), present only when the caller passed a
+    #: :class:`~repro.exec.fleet.FleetTelemetry` to :func:`run_units`.
+    fleet: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -99,7 +103,7 @@ def run_units(units: Sequence[RunUnit], *, jobs: Optional[int] = None,
               backoff: Optional[float] = None,
               timeout: Optional[float] = None,
               inject: Optional[str] = None,
-              progress=None) -> ExecutionResult:
+              progress=None, fleet=None) -> ExecutionResult:
     """Execute a planned unit list and merge rows in unit order.
 
     ``jobs=1`` runs serially in-process (bit-identical to the
@@ -122,7 +126,7 @@ def run_units(units: Sequence[RunUnit], *, jobs: Optional[int] = None,
 
     stats = ExecutionStats(total=len(units), jobs=jobs)
     run = _Run(units, cache_store, retries, backoff, timeout, inject,
-               progress, stats)
+               progress, stats, fleet=fleet)
     progress.start(stats)
     started = time.monotonic()
     to_run = run.sweep_cache()
@@ -136,4 +140,6 @@ def run_units(units: Sequence[RunUnit], *, jobs: Optional[int] = None,
     _accumulate(stats)
     progress.finish(stats)
     return ExecutionResult(rows=run.rows, failures=run.failures,
-                           stats=stats)
+                           stats=stats,
+                           fleet=(fleet.report(stats)
+                                  if fleet is not None else None))

@@ -147,7 +147,8 @@ class _Run:
     def __init__(self, units: Sequence[RunUnit],
                  cache: Optional[ResultCache], retries: int,
                  backoff: float, timeout: Optional[float],
-                 inject: Optional[str], progress, stats: ExecutionStats):
+                 inject: Optional[str], progress, stats: ExecutionStats,
+                 fleet=None):
         self.units = list(units)
         self.cache = cache
         self.retries = retries
@@ -157,9 +158,21 @@ class _Run:
                        else os.environ.get("REPRO_EXEC_INJECT"))
         self.progress = progress
         self.stats = stats
+        self.fleet = fleet
         self.rows: List[Optional[dict]] = [None] * len(self.units)
         self.failures: List[UnitFailure] = []
         self.fingerprints: List[Optional[str]] = [None] * len(self.units)
+
+    def notify_unit(self, pos: int, wall_s: float, cached: bool,
+                    batch: int = 1, failed: bool = False,
+                    row: Optional[dict] = None) -> None:
+        """Fan one settled unit out to progress + fleet telemetry."""
+        unit = self.units[pos]
+        self.progress.unit_done(unit, wall_s, cached, batch=batch,
+                                failed=failed, row=row)
+        if self.fleet is not None:
+            self.fleet.unit_done(unit, wall_s, cached, batch=batch,
+                                 failed=failed, row=row)
 
     # -- cache --------------------------------------------------------
     def sweep_cache(self) -> List[Tuple[int, int]]:
@@ -175,25 +188,29 @@ class _Run:
                     self.stats.cache_hits += 1
                     self.stats.messages_lost += int(
                         row.get("messages_lost", 0))
+                    self.notify_unit(pos, 0.0, cached=True, row=row)
                     self.progress.update(self.stats)
                     continue
             to_run.append((pos, 0))
         return to_run
 
     # -- settlement ---------------------------------------------------
-    def settle_success(self, pos: int, row: dict) -> None:
+    def settle_success(self, pos: int, row: dict, wall: float = 0.0,
+                       batch: int = 1) -> None:
         self.rows[pos] = row
         self.stats.computed += 1
         self.stats.messages_lost += int(row.get("messages_lost", 0))
         if self.cache is not None:
             self.cache.put(self.fingerprints[pos], row,
                            config=self.units[pos].config)
+        self.notify_unit(pos, wall, cached=False, batch=batch, row=row)
         self.progress.update(self.stats)
 
     def settle_failure(self, pos: int, attempts: int,
                        exc: BaseException) -> None:
         self.failures.append(_failure(self.units[pos], attempts, exc))
         self.stats.failures += 1
+        self.notify_unit(pos, 0.0, cached=False, failed=True)
         self.progress.update(self.stats)
 
     def backoff_delay(self, attempt: int) -> float:
@@ -220,8 +237,9 @@ def run_serial(run: _Run, to_run: Sequence[Tuple[int, int]]) -> None:
                 run.stats.retries += 1
                 time.sleep(run.backoff_delay(attempt))
             else:
-                run.stats.busy_time += time.monotonic() - started
-                run.settle_success(pos, row)
+                wall = time.monotonic() - started
+                run.stats.busy_time += wall
+                run.settle_success(pos, row, wall=wall)
                 break
         run.stats.in_flight = 0
 
@@ -343,11 +361,17 @@ def _pool_loop(run: _Run, pool, pending, retry_heap, futures,
                         solo.add(pos)
                         pending.append((pos, attempt))
             else:
+                # The task's wall time, split evenly across its units
+                # (individual shares are not observable from outside
+                # the worker).
+                share = (now - started) / len(entries)
                 if len(entries) == 1:
-                    run.settle_success(entries[0][0], result[1])
+                    run.settle_success(entries[0][0], result[1],
+                                       wall=share)
                 else:
                     for (pos, _), (_, row) in zip(entries, result):
-                        run.settle_success(pos, row)
+                        run.settle_success(pos, row, wall=share,
+                                           batch=len(entries))
         if run.timeout is not None:
             # Batching is disabled whenever a timeout is set, so every
             # overdue future maps to exactly one unit.
@@ -393,7 +417,7 @@ def _salvage(run: _Run, futures, pending, exc: BaseException) -> None:
                 run.settle_success(entries[0][0], result[1])
             else:
                 for (pos, __), (__, row) in zip(entries, result):
-                    run.settle_success(pos, row)
+                    run.settle_success(pos, row, batch=len(entries))
             continue
         for pos, attempt in entries:
             if pos in overdue:
@@ -440,9 +464,10 @@ def _run_quarantine(run: _Run, pending) -> None:
                 pool.shutdown()
                 exc = error
             else:
-                run.stats.busy_time += time.monotonic() - started
+                wall = time.monotonic() - started
+                run.stats.busy_time += wall
                 pool.shutdown()
-                run.settle_success(pos, row)
+                run.settle_success(pos, row, wall=wall)
                 break
             run.stats.busy_time += time.monotonic() - started
             if attempt >= run.retries:

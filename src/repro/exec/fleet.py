@@ -1,0 +1,94 @@
+"""Sweep-level fleet telemetry: per-unit host measurements rolled up.
+
+The executor notifies one :class:`FleetTelemetry` as units settle
+(computed, cache hit, or failed) with the host-side facts only the
+parent process can see — per-unit wall time, whether the row came from
+cache, the batch size the unit rode in.  :meth:`report` rolls those
+into the sweep-level fleet document the CLI prints after a
+``--metrics`` or ``--dashboard`` sweep; worker-side facts (peak RSS of
+the worker process, simulated-time series) live in the per-unit
+``<fingerprint>.metrics.jsonl`` artifacts instead.
+
+Host telemetry never feeds back into simulation state or summary rows
+— the fleet report is an observer of the run, not a participant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from .host import peak_rss_kb
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitRecord:
+    """One settled unit as the parent process saw it."""
+
+    index: int
+    seed: int
+    wall_s: float
+    cached: bool
+    failed: bool
+    batch: int
+
+
+class FleetTelemetry:
+    """Accumulates unit records and renders the fleet report."""
+
+    def __init__(self) -> None:
+        self.units: List[UnitRecord] = []
+
+    def unit_done(self, unit, wall_s: float, cached: bool,
+                  batch: int = 1, failed: bool = False,
+                  row: Optional[dict] = None) -> None:
+        self.units.append(UnitRecord(
+            index=unit.index, seed=unit.seed, wall_s=wall_s,
+            cached=cached, failed=failed, batch=batch))
+
+    def report(self, stats=None) -> dict:
+        """The fleet document: counts, wall-time shape, host RSS."""
+        computed = [u for u in self.units if not u.cached and not u.failed]
+        walls = sorted(u.wall_s for u in computed)
+        total_wall = sum(walls)
+        document = {
+            "units": len(self.units),
+            "computed": len(computed),
+            "cache_hits": sum(1 for u in self.units if u.cached),
+            "failed": sum(1 for u in self.units if u.failed),
+            "batched_units": sum(1 for u in self.units if u.batch > 1),
+            "unit_wall_s_total": total_wall,
+            "unit_wall_s_mean": (total_wall / len(walls)
+                                 if walls else 0.0),
+            "unit_wall_s_max": walls[-1] if walls else 0.0,
+            "unit_wall_s_p50": (walls[len(walls) // 2]
+                                if walls else 0.0),
+            "parent_peak_rss_kb": peak_rss_kb(),
+        }
+        if stats is not None:
+            document["elapsed_s"] = stats.elapsed
+            document["jobs"] = stats.jobs
+            document["retries"] = stats.retries
+            document["utilization"] = stats.utilization
+            if stats.elapsed > 0:
+                document["units_per_sec"] = (stats.done
+                                             / stats.elapsed)
+        return document
+
+
+def format_fleet_report(document: dict) -> str:
+    """Human-readable fleet trailer for the CLI."""
+    lines = ["[fleet] sweep telemetry:"]
+    order = ("units", "computed", "cache_hits", "failed",
+             "batched_units", "retries", "jobs", "elapsed_s",
+             "units_per_sec", "utilization", "unit_wall_s_total",
+             "unit_wall_s_mean", "unit_wall_s_p50", "unit_wall_s_max",
+             "parent_peak_rss_kb")
+    for key in order:
+        if key not in document:
+            continue
+        value = document[key]
+        shown = (f"{value:.4g}" if isinstance(value, float)
+                 else str(value))
+        lines.append(f"  {key:<20} {shown}")
+    return "\n".join(lines)

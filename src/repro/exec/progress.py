@@ -26,6 +26,10 @@ class NullProgress:
     def update(self, stats) -> None:
         pass
 
+    def unit_done(self, unit, wall_s, cached, batch=1, failed=False,
+                  row=None) -> None:
+        """Per-unit settlement hook (dashboard / fleet telemetry)."""
+
     def finish(self, stats) -> None:
         pass
 

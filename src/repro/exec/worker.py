@@ -83,14 +83,20 @@ def _apply_injection(seed: int, attempt: int,
                           f"(attempt {attempt})")
 
 
-def execute_config(config) -> dict:
+def execute_config(config, batch: int = 1) -> dict:
     """Run one seeded configuration and return its summary row.
 
     When ``REPRO_TRACE_DIR`` names a directory, the unit runs under a
     fresh :class:`~repro.trace.tracer.Tracer` and its event stream is
     written there as ``<config_fingerprint>.trace.jsonl`` plus a
-    Perfetto-loadable ``<config_fingerprint>.trace.json``.  Tracing is
-    zero-perturbation: the summary row is bitwise-identical either way.
+    Perfetto-loadable ``<config_fingerprint>.trace.json``.  When
+    ``REPRO_METRICS_DIR`` names a directory, the unit runs under a
+    fresh :class:`~repro.telemetry.registry.MetricsRegistry` (window
+    width from ``REPRO_METRICS_WINDOW`` when set) and its time series
+    are written there as ``<config_fingerprint>.metrics.jsonl`` with
+    host telemetry (wall seconds, worker peak RSS, batch size) in the
+    artifact meta.  Both observers are zero-perturbation: the summary
+    row is bitwise-identical either way.
     """
     # Imported lazily: repro.core.experiment itself builds on this
     # package, and worker processes should not pay the import until
@@ -106,26 +112,62 @@ def execute_config(config) -> dict:
         raise TypeError(f"unknown config type {type(config).__name__}")
 
     trace_dir = os.environ.get("REPRO_TRACE_DIR")
-    if not trace_dir:
+    metrics_dir = os.environ.get("REPRO_METRICS_DIR")
+    if not trace_dir and not metrics_dir:
         return runner(config)
 
-    from ..trace.export import export_chrome, export_jsonl
-    from ..trace.tracer import Tracer, tracing
-    from .fingerprint import config_fingerprint
+    import contextlib
 
-    tracer = Tracer()
-    with tracing(tracer):
+    from .fingerprint import config_fingerprint
+    from .host import host_clock, peak_rss_kb
+
+    tracer = None
+    registry = None
+    with contextlib.ExitStack() as observers:
+        if trace_dir:
+            from ..trace.tracer import Tracer, tracing
+            tracer = Tracer()
+            observers.enter_context(tracing(tracer))
+        if metrics_dir:
+            from ..telemetry.registry import (DEFAULT_WINDOW,
+                                              ENV_METRICS_WINDOW,
+                                              MetricsRegistry, metering)
+            raw = os.environ.get(ENV_METRICS_WINDOW, "").strip()
+            registry = MetricsRegistry(
+                window=float(raw) if raw else DEFAULT_WINDOW)
+            observers.enter_context(metering(registry))
+        started = host_clock()
         row = runner(config)
-    os.makedirs(trace_dir, exist_ok=True)
-    stem = os.path.join(trace_dir, config_fingerprint(config))
-    export_jsonl(tracer, stem + ".trace.jsonl")
-    export_chrome(list(tracer.events), stem + ".trace.json",
-                  dropped=tracer.dropped)
+        wall_s = host_clock() - started
+
+    stem = config_fingerprint(config)
+    if trace_dir:
+        from ..trace.export import export_chrome, export_jsonl
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, stem)
+        export_jsonl(tracer, path + ".trace.jsonl")
+        export_chrome(list(tracer.events), path + ".trace.json",
+                      dropped=tracer.dropped)
+    if metrics_dir:
+        from ..telemetry.export import write_metrics_jsonl
+        registry.finalize()
+        registry.meta.update({
+            "fingerprint": stem,
+            "seed": config.seed,
+            "wall_s": wall_s,
+            "peak_rss_kb": peak_rss_kb(),
+            "batch": batch,
+        })
+        os.makedirs(metrics_dir, exist_ok=True)
+        write_metrics_jsonl(registry.dump(),
+                            os.path.join(metrics_dir,
+                                         stem + ".metrics.jsonl"))
     return row
 
 
 def invoke_unit(index: int, config, attempt: int = 0,
-                inject: Optional[str] = None) -> Tuple[int, dict]:
+                inject: Optional[str] = None,
+                batch: int = 1) -> Tuple[int, dict]:
     """Execute one run unit; the pool's submit target.
 
     Returns ``(index, row)`` so completions identify themselves
@@ -134,7 +176,7 @@ def invoke_unit(index: int, config, attempt: int = 0,
     spec = inject if inject is not None else os.environ.get(
         "REPRO_EXEC_INJECT")
     _apply_injection(config.seed, attempt, spec)
-    return index, execute_config(config)
+    return index, execute_config(config, batch=batch)
 
 
 def warm_worker() -> None:
@@ -157,5 +199,6 @@ def invoke_batch(items, inject: Optional[str] = None) -> list:
     here aborts the whole task — the executor re-files the batch's
     units individually to attribute the failure.
     """
-    return [invoke_unit(index, config, attempt, inject)
+    return [invoke_unit(index, config, attempt, inject,
+                        batch=len(items))
             for index, config, attempt in items]

@@ -112,7 +112,8 @@ class EventQueue:
       there are never ties).
     """
 
-    __slots__ = ("_heap", "_sorted", "_seq", "_dead")
+    __slots__ = ("_heap", "_sorted", "_seq", "_dead",
+                 "_cancelled_total")
 
     def __init__(self) -> None:
         #: Heap of (time, key, seq, Event) — tuple order == event order.
@@ -122,6 +123,9 @@ class EventQueue:
         self._seq = 0
         #: Cancelled entries still sitting in either store.
         self._dead = 0
+        #: Lifetime cancellation count (never decremented); the
+        #: telemetry KernelProbe derives timer churn from it.
+        self._cancelled_total = 0
 
     def schedule(self, time: float, callback: Callable[[], None],
                  key: float = 0.0) -> Event:
@@ -179,6 +183,7 @@ class EventQueue:
     def _note_cancel(self) -> None:
         """One live event became dead; compact when mostly dead."""
         self._dead += 1
+        self._cancelled_total += 1
         size = len(self._heap) + len(self._sorted)
         if size > _COMPACT_MIN and self._dead * 2 > size:
             self.compact()

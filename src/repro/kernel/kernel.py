@@ -49,6 +49,19 @@ class Kernel:
             active.attach_callback(trace)
         #: The structured tracer, or None when tracing is off.
         self.tracer = active
+        # Same deferral for the metrics layer (plain data + stdlib).
+        from ..telemetry.registry import current_metrics
+        meter = current_metrics()
+        if meter is not None:
+            from ..telemetry.probes import KernelProbe, TxnProbe
+            #: Queue-depth/dispatch/churn probe, or None when off.
+            self.telemetry = KernelProbe(meter, self.events)
+            #: Transaction-population probe shared by every manager
+            #: running on this kernel, or None when off.
+            self.txn_telemetry = TxnProbe(meter)
+        else:
+            self.telemetry = None
+            self.txn_telemetry = None
         #: Optional SchedulerController (repro.kernel.controlled);
         #: when set, :meth:`run` delegates to its controlled loop.
         self.controller = None
@@ -192,6 +205,12 @@ class Kernel:
         drain = events._sorted
         clock = self.clock
         resume = self._resume
+        # Metrics probe: one float comparison per event when on (the
+        # probe samples only at window boundaries), literally nothing
+        # when off (probe_next stays +inf).
+        probe = self.telemetry
+        probe_next = probe.next_window if probe is not None else float(
+            "inf")
         try:
             if until is None:
                 while drain:
@@ -204,6 +223,8 @@ class Kernel:
                         events._dead -= 1
                         continue
                     clock._now = entry[0]
+                    if entry[0] >= probe_next:
+                        probe_next = probe.sample(entry[0])
                     callback = event.callback
                     if callback is not None:
                         callback()
@@ -218,6 +239,8 @@ class Kernel:
                         events._dead -= 1
                         continue
                     clock._now = entry[0]
+                    if entry[0] >= probe_next:
+                        probe_next = probe.sample(entry[0])
                     callback = event.callback
                     if callback is not None:
                         callback()
@@ -249,6 +272,8 @@ class Kernel:
                     else:
                         drain.pop()
                     clock._now = entry[0]
+                    if entry[0] >= probe_next:
+                        probe_next = probe.sample(entry[0])
                     callback = event.callback
                     if callback is not None:
                         callback()
@@ -265,6 +290,8 @@ class Kernel:
                         break
                     heappop(heap)
                     clock._now = entry[0]
+                    if entry[0] >= probe_next:
+                        probe_next = probe.sample(entry[0])
                     callback = event.callback
                     if callback is not None:
                         callback()
@@ -291,6 +318,9 @@ class Kernel:
             if event is None:
                 return False
             self.clock.advance_to(event.time)
+            probe = self.telemetry
+            if probe is not None and event.time >= probe.next_window:
+                probe.sample(event.time)
             if event.callback is not None:
                 event.callback()
             else:

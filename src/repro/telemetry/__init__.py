@@ -1,0 +1,35 @@
+"""repro.telemetry — deterministic time-series metrics.
+
+A zero-RNG instrumentation layer sampled on fixed *simulated*-time
+windows.  The layer honors the same contract as :mod:`repro.trace`:
+installing a registry never perturbs the simulation (no events, no
+RNG draws, no model-state mutation), so metrics-enabled runs stay
+bitwise-identical to plain runs.
+
+Public surface:
+
+- :class:`MetricsRegistry` plus the activation trio
+  (:func:`current_metrics` / :func:`install_metrics` /
+  :func:`metering`) in :mod:`repro.telemetry.registry`;
+- the typed instruments (Counter, Gauge, log-bucketed Histogram) in
+  :mod:`repro.telemetry.instruments`;
+- the guarded probes the hot layers call in
+  :mod:`repro.telemetry.probes`;
+- exporters (JSONL artifact, OpenMetrics/Prometheus text, CSV, JSON)
+  and the exposition-format validator in
+  :mod:`repro.telemetry.export`;
+- the sanctioned host-clock helper in
+  :mod:`repro.telemetry.hostclock` (the only place simulation-adjacent
+  code may read the host clock — see lint rule RPL014).
+"""
+
+from .instruments import Counter, Gauge, Histogram
+from .registry import (DEFAULT_WINDOW, ENV_METRICS_DIR,
+                       ENV_METRICS_WINDOW, MetricsRegistry,
+                       current_metrics, install_metrics, metering)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "current_metrics", "install_metrics", "metering",
+    "DEFAULT_WINDOW", "ENV_METRICS_DIR", "ENV_METRICS_WINDOW",
+]

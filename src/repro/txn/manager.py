@@ -73,24 +73,31 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
     tracer = cc.tracer
     if tracer is not None:
         tracer.txn_start(kernel.now, txn)
+    probe = kernel.txn_telemetry
+    if probe is not None:
+        probe.on_start(kernel.now)
     timer = DeadlineTimer(kernel, txn.process, txn.deadline,
                           lambda: DeadlineMiss(txn.tid))
     try:
         while True:  # restart loop for deadlock victims
             try:
                 yield from _execute_once(kernel, txn, cc, cpu, io,
-                                         database, costs)
+                                         database, costs, probe)
                 txn.mark_committed(kernel.now)
                 if cc.sanitizer is not None:
                     cc.sanitizer.on_commit(txn)
                 if tracer is not None:
                     tracer.txn_commit(kernel.now, txn)
+                if probe is not None:
+                    probe.on_commit(kernel.now)
                 break
             except DeadlockAbort:
                 txn.restarts += 1
                 cc.abort(txn)
                 if tracer is not None:
                     tracer.txn_restart(kernel.now, txn)
+                if probe is not None:
+                    probe.on_restart(kernel.now)
                 if costs.restart_delay > 0:
                     yield Delay(costs.restart_delay)
     except DeadlineMiss:
@@ -98,6 +105,8 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
         txn.mark_missed(kernel.now)
         if tracer is not None:
             tracer.txn_miss(kernel.now, txn, reason="deadline")
+        if probe is not None:
+            probe.on_renege(kernel.now)
     finally:
         timer.cancel()
         cc.deregister(txn)
@@ -106,11 +115,15 @@ def transaction_manager(kernel: Kernel, txn: Transaction,
 
 def _execute_once(kernel: Kernel, txn: Transaction,
                   cc: "ConcurrencyControl", cpu: CPU, io: ParallelIO,
-                  database: Database, costs: CostModel):
+                  database: Database, costs: CostModel, probe=None):
     """One attempt: acquire-and-access every object, then commit."""
     for oid, mode in txn.operations:
         blocked_at = kernel.now
+        if probe is not None:
+            probe.on_block(blocked_at)
         yield cc.acquire(txn, oid, mode)
+        if probe is not None:
+            probe.on_unblock(kernel.now, kernel.now - blocked_at)
         txn.blocked_time += kernel.now - blocked_at
         yield cpu.use(costs.cpu_per_object)
         yield io.use(costs.io_per_object)

@@ -1,0 +1,140 @@
+"""RPL014 — host-clock calls outside the sanctioned gateway.
+
+In the determinism-critical layers (cc/dist/kernel/telemetry) even
+*elapsed* host time — ``time.perf_counter()`` and friends, which
+RPL001 deliberately allows elsewhere — must route through
+:func:`repro.telemetry.hostclock.host_clock`.  These tests pin the
+fire cases (call and from-import forms), the scope (fires in all four
+layers, silent elsewhere and in the gateway module), ``# noqa``
+suppression, and — the acceptance gate — that the shipped package
+itself is clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analyze.engine import LintEngine, iter_python_files
+from repro.analyze.rules import DEFAULT_RULES, RULE_INDEX
+
+
+def lint(source, path="src/repro/telemetry/example.py"):
+    engine = LintEngine(DEFAULT_RULES, select=["RPL014"])
+    return engine.check_source(textwrap.dedent(source), path)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+def test_rpl014_is_registered():
+    assert "RPL014" in RULE_INDEX
+    assert any(rule.code == "RPL014" for rule in DEFAULT_RULES)
+
+
+def test_rpl014_flags_perf_counter_call():
+    findings = lint("""
+        import time
+
+        def measure():
+            return time.perf_counter()
+    """)
+    assert codes(findings) == ["RPL014"]
+    assert "host_clock" in findings[0].message
+
+
+def test_rpl014_flags_wall_clock_call():
+    findings = lint("""
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert codes(findings) == ["RPL014"]
+
+
+def test_rpl014_flags_aliased_module():
+    findings = lint("""
+        import time as t
+
+        def measure():
+            return t.monotonic()
+    """)
+    assert codes(findings) == ["RPL014"]
+
+
+def test_rpl014_flags_from_import():
+    findings = lint("""
+        from time import perf_counter
+
+        def measure():
+            return perf_counter()
+    """)
+    assert codes(findings) == ["RPL014"]
+
+
+def test_rpl014_fires_in_every_scoped_layer():
+    source = """
+        import time
+
+        def measure():
+            return time.perf_counter()
+    """
+    for path in ("src/repro/cc/base.py",
+                 "src/repro/dist/network.py",
+                 "src/repro/kernel/kernel.py",
+                 "src/repro/telemetry/registry.py"):
+        assert codes(lint(source, path=path)) == ["RPL014"], path
+
+
+def test_rpl014_silent_outside_scoped_layers():
+    source = """
+        import time
+
+        def measure():
+            return time.perf_counter()
+    """
+    for path in ("src/repro/exec/executor.py",
+                 "src/repro/bench/micro.py",
+                 "src/repro/cli.py",
+                 "tests/telemetry/test_registry.py"):
+        assert lint(source, path=path) == [], path
+
+
+def test_rpl014_silent_in_gateway_module():
+    findings = lint("""
+        import time
+
+        def host_clock():
+            return time.perf_counter()
+    """, path="src/repro/telemetry/hostclock.py")
+    assert findings == []
+
+
+def test_rpl014_silent_on_harmless_time_attributes():
+    # Non-clock uses of the module (struct access, sleep-free helpers
+    # it does not provide) must not trip the rule.
+    findings = lint("""
+        import time
+
+        def name():
+            return time.__name__
+    """)
+    assert findings == []
+
+
+def test_rpl014_honours_noqa():
+    findings = lint("""
+        import time
+
+        def measure():
+            return time.perf_counter()  # noqa: RPL014
+    """)
+    assert findings == []
+
+
+def test_rpl014_shipped_package_is_clean():
+    import repro
+    engine = LintEngine(DEFAULT_RULES, select=["RPL014"])
+    package_root = Path(repro.__file__).parent
+    for module_path in iter_python_files([package_root]):
+        assert engine.check_file(module_path) == [], module_path

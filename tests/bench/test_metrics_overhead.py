@@ -1,0 +1,46 @@
+"""The metrics-overhead gate: metered/plain pairing and the ceiling."""
+
+from repro.bench.micro import (BENCHMARKS, METERED_PAIRS,
+                               metrics_overhead_violations, run_bench)
+
+
+def doc(results):
+    return {"schema": "repro-bench/1", "timestamp": "20260101_000000",
+            "quick": True, "python": "3.12.0", "platform": "test",
+            "results": results}
+
+
+def test_metered_pairs_are_registered_benchmarks():
+    for metered_name, plain_name in METERED_PAIRS.items():
+        assert metered_name in BENCHMARKS
+        assert plain_name in BENCHMARKS
+
+
+def test_violations_flag_overhead_above_limit():
+    results = {"metered_event_dispatch":
+               {"ops_per_sec": 80.0, "metrics_overhead_x": 1.25}}
+    messages = metrics_overhead_violations(doc(results), limit=1.10)
+    assert len(messages) == 1
+    assert "metered_event_dispatch" in messages[0]
+    assert "1.250x" in messages[0]
+
+
+def test_violations_pass_at_or_below_limit():
+    results = {"metered_event_dispatch":
+               {"ops_per_sec": 95.0, "metrics_overhead_x": 1.05},
+               "metered_single_site":
+               {"ops_per_sec": 10.0, "metrics_overhead_x": 1.10}}
+    assert metrics_overhead_violations(doc(results), limit=1.10) == []
+
+
+def test_violations_skip_missing_pairs():
+    assert metrics_overhead_violations(doc({}), limit=1.10) == []
+
+
+def test_run_bench_computes_overhead_ratio():
+    document = run_bench(
+        only=("event_dispatch", "metered_event_dispatch"), quick=True)
+    metered = document["results"]["metered_event_dispatch"]
+    plain = document["results"]["event_dispatch"]
+    assert metered["metrics_overhead_x"] == (
+        plain["ops_per_sec"] / metered["ops_per_sec"])

@@ -1,0 +1,117 @@
+"""Fleet telemetry roll-up and the sweep dashboard renderer."""
+
+import io
+
+from repro.exec.executor import ExecutionStats
+from repro.exec.dashboard import Dashboard
+from repro.exec.fleet import FleetTelemetry, format_fleet_report
+from repro.exec.units import RunUnit
+
+
+def unit(index, seed):
+    class _Config:
+        pass
+    config = _Config()
+    config.seed = seed
+    return RunUnit(index=index, group=0, config=config)
+
+
+def settled_fleet():
+    fleet = FleetTelemetry()
+    fleet.unit_done(unit(0, 101), 0.4, cached=False)
+    fleet.unit_done(unit(1, 102), 0.2, cached=False, batch=2)
+    fleet.unit_done(unit(2, 103), 0.0, cached=True)
+    fleet.unit_done(unit(3, 104), 0.0, cached=False, failed=True)
+    return fleet
+
+
+def test_report_counts_and_wall_shape():
+    report = settled_fleet().report()
+    assert report["units"] == 4
+    assert report["computed"] == 2
+    assert report["cache_hits"] == 1
+    assert report["failed"] == 1
+    assert report["batched_units"] == 1
+    assert report["unit_wall_s_total"] == 0.6000000000000001
+    assert report["unit_wall_s_max"] == 0.4
+    assert report["unit_wall_s_p50"] == 0.4
+    assert "parent_peak_rss_kb" in report
+
+
+def test_report_includes_engine_stats():
+    stats = ExecutionStats(total=4, computed=2, cache_hits=1,
+                           failures=1, retries=1, jobs=2,
+                           elapsed=2.0, busy_time=3.0)
+    report = settled_fleet().report(stats)
+    assert report["elapsed_s"] == 2.0
+    assert report["jobs"] == 2
+    assert report["retries"] == 1
+    assert report["units_per_sec"] == stats.done / 2.0
+    assert 0.0 < report["utilization"] <= 1.0
+
+
+def test_format_fleet_report_order_and_values():
+    text = format_fleet_report(settled_fleet().report())
+    lines = text.splitlines()
+    assert lines[0] == "[fleet] sweep telemetry:"
+    keys = [line.split()[0] for line in lines[1:]]
+    assert keys[:4] == ["units", "computed", "cache_hits", "failed"]
+    assert "units                4" in text
+
+
+def test_dashboard_renders_plain_lines_off_tty():
+    stream = io.StringIO()
+    dashboard = Dashboard(stream=stream, min_interval=0.0)
+    stats = ExecutionStats(total=10, computed=3, cache_hits=1, jobs=2,
+                           elapsed=1.0, in_flight=2)
+    dashboard.start(stats)
+    dashboard.unit_done(unit(0, 101), 0.3, cached=False,
+                        row={"seed": 101, "processed": 20,
+                             "missed": 2.0})
+    dashboard.update(stats)
+    out = stream.getvalue()
+    assert "\x1b[" not in out            # no cursor control off-TTY
+    assert "progress   [" in out
+    assert "4/10 units" in out
+    assert "1 cached" in out
+    assert "seed=101" in out
+    assert "missed=2" in out
+
+
+def test_dashboard_skips_cached_and_failed_walls():
+    dashboard = Dashboard(stream=io.StringIO(), min_interval=0.0)
+    dashboard.start(ExecutionStats())
+    dashboard.unit_done(unit(0, 1), 5.0, cached=True)
+    dashboard.unit_done(unit(1, 2), 5.0, cached=False, failed=True)
+    dashboard.unit_done(unit(2, 3), 0.25, cached=False)
+    assert dashboard._unit_walls == [0.25]
+
+
+def test_dashboard_finish_is_quiet_when_never_drawn():
+    stream = io.StringIO()
+    dashboard = Dashboard(stream=stream, min_interval=0.0)
+    dashboard.start(ExecutionStats())
+    dashboard.finish(ExecutionStats())
+    assert stream.getvalue() == ""
+
+
+def test_run_units_feeds_fleet(monkeypatch, tmp_path):
+    # End-to-end: a tiny serial engine run notifies the fleet once per
+    # unit and the report reflects the computed counts.
+    from repro.core.config import SingleSiteConfig, WorkloadConfig
+    from repro.exec import plan_replications, run_units
+
+    config = SingleSiteConfig(
+        protocol="C", db_size=40, seed=1,
+        workload=WorkloadConfig(n_transactions=8, mean_interarrival=3.0,
+                                transaction_size=3, size_jitter=1,
+                                read_only_fraction=0.25))
+    units = plan_replications(config, replications=2)
+    fleet = FleetTelemetry()
+    result = run_units(units, jobs=1, cache=None, fleet=fleet)
+    result.require_success()
+    assert len(fleet.units) == 2
+    assert result.fleet["units"] == 2
+    assert result.fleet["computed"] == 2
+    assert result.fleet["failed"] == 0
+    assert result.fleet["unit_wall_s_total"] > 0.0

@@ -1,0 +1,72 @@
+"""The metrics zero-perturbation contract (bit-identity property).
+
+Running under an installed :class:`MetricsRegistry` must leave a run
+*bitwise identical* to running unmetered — same summary row, key by
+key, against the frozen golden files — for both a single-site and a
+distributed scenario.  This is what lets ``repro run --metrics``
+coexist with the result cache and the golden tier-1 suite.
+"""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, current_metrics, metering
+from repro.telemetry.registry import install_metrics
+
+from ..core.golden_scenarios import load_golden, run_scenario
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_registry():
+    assert current_metrics() is None
+    yield
+    install_metrics(None)
+
+
+@pytest.mark.parametrize("scenario", ["single_site_pcp", "dist_global",
+                                      "dist_faulted"])
+def test_metered_run_is_bitwise_identical(scenario):
+    plain = run_scenario(scenario)
+    with metering(MetricsRegistry()) as registry:
+        metered = run_scenario(scenario)
+    registry.finalize()
+    golden = load_golden(scenario)
+    assert plain == golden
+    assert metered == golden
+    assert len(registry) > 0          # the run really was metered
+
+
+def test_metering_twice_gives_identical_documents():
+    with metering(MetricsRegistry()) as first:
+        run_scenario("single_site_pcp")
+    first.finalize()
+    with metering(MetricsRegistry()) as second:
+        run_scenario("single_site_pcp")
+    second.finalize()
+    assert first.dump()["series"] == second.dump()["series"]
+
+
+def test_probes_populate_expected_families():
+    with metering(MetricsRegistry()) as registry:
+        run_scenario("single_site_pcp")
+    registry.finalize()
+    names = {series["name"] for series in registry.dump()["series"]}
+    assert "kernel.events_dispatched" in names
+    assert "cc.grants" in names
+    assert "txn.committed" in names
+    assert "cc.wait_time" in names    # histogram family
+
+
+def test_distributed_probes_populate_network_families():
+    with metering(MetricsRegistry()) as registry:
+        run_scenario("dist_faulted")
+    registry.finalize()
+    names = {series["name"] for series in registry.dump()["series"]}
+    assert "net.sent" in names
+    assert "net.dropped" in names
+
+
+def test_summary_never_grows_metrics_keys():
+    # Metrics live in the artifact, never in the summary row.
+    with metering(MetricsRegistry()):
+        row = run_scenario("single_site_pcp")
+    assert not any(key.startswith("metrics_") for key in row)
