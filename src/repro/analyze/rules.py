@@ -891,6 +891,75 @@ class HostClockGatewayRule(Rule):
                     f"through repro.telemetry.hostclock.host_clock()")
 
 
+class EventQueueInternalsRule(Rule):
+    """RPL015: event-queue internals reached outside the queue engines.
+
+    The repository ships two event cores behind one queue API — the
+    reference tuple heap (``kernel/events.py``) and the turbo calendar
+    (``kernel/turbo/``) — and promises bitwise-identical results
+    across them.  That promise dies the moment model or harness code
+    reaches into one engine's representation (``events._heap``,
+    ``events._drain``, dead-entry counters): such code silently breaks
+    on — or worse, silently diverges under — the other engine.  Every
+    consumer must go through the sanctioned surface (``schedule``,
+    ``pop``, ``prepare_dispatch``, ``note_dead``, ``live_entries``,
+    ``queue_stats``, ``pop_tied_entries``/``push_entry``).
+
+    Flagged: an attribute read of a queue-internal name whose base
+    expression looks like an event queue — a name or attribute spelled
+    ``events``/``_events``/``queue`` (``events._heap``,
+    ``self._events._dead``, ``kernel.events._buckets``).  Unrelated
+    objects with fields like ``_seq`` (the wait-queue's arrival
+    counter, transaction ids) are not flagged because their base is
+    not queue-shaped.  The two engine homes are exempt, as are tests.
+    """
+
+    code = "RPL015"
+    name = "event-queue-internals"
+    #: Internal attributes of either engine's event structure.
+    banned = frozenset({
+        # reference tuple-heap internals
+        "_heap", "_sorted",
+        # turbo calendar internals
+        "_buckets", "_bucket_heap", "_drain", "_spill", "_far",
+        "_current_id", "_width", "_resize_at", "_freelist",
+        # shared bookkeeping counters
+        "_dead", "_seq", "_cancelled_total", "_count",
+    })
+    #: Base-expression spellings that identify an event queue.
+    queue_names = frozenset({"events", "_events", "queue"})
+    #: Module basenames allowed to touch reference-queue internals.
+    engine_modules = ("events.py",)
+
+    def applies_to(self, path: str) -> bool:
+        if _is_path_part(path, "tests"):
+            return False
+        if _is_path_part(path, "turbo"):
+            return False
+        normalized = path.replace("\\", "/")
+        return normalized.rsplit("/", 1)[-1] not in self.engine_modules
+
+    def _queue_shaped(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.queue_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.queue_names
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in self.banned
+                    and self._queue_shaped(node.value)):
+                yield self.finding(
+                    path, node,
+                    f"event-queue internal '.{node.attr}' accessed "
+                    f"outside kernel/events.py and kernel/turbo/; use "
+                    f"the queue API (prepare_dispatch/note_dead/"
+                    f"live_entries/queue_stats/...) so both engines "
+                    f"stay interchangeable")
+
+
 #: The syntactic rule set, in code order.  The flow-aware rules
 #: (RPL010-RPL012) live in :mod:`repro.analyze.flow_rules`; they are
 #: appended below so the shipped registry stays one tuple.
@@ -906,6 +975,7 @@ _SYNTACTIC_RULES = (
     BlockingTaxonomyRule(),
     ProtocolLiteralRule(),
     HostClockGatewayRule(),
+    EventQueueInternalsRule(),
 )
 
 #: code -> one-line description, for ``repro lint --list-rules``.
@@ -921,6 +991,7 @@ RULE_INDEX = {
     "RPL009": "re-declared blocking-category string literal",
     "RPL013": "hard-coded protocol-name literal outside the registry",
     "RPL014": "host-clock call outside the hostclock gateway",
+    "RPL015": "event-queue internals accessed outside the engines",
 }
 
 # Imported at the bottom on purpose: flow_rules subclasses Rule from

@@ -132,13 +132,8 @@ def pending_signature(events) -> Tuple[Tuple[float, float, str], ...]:
     but agree on what is pending and when — hash equal, which is what
     lets the explorer merge convergent interleavings.
     """
-    entries = []
-    for entry in events._heap:
-        if not entry[3].cancelled:
-            entries.append((entry[0], entry[1], entry_label(entry)))
-    for entry in events._sorted:
-        if not entry[3].cancelled:
-            entries.append((entry[0], entry[1], entry_label(entry)))
+    entries = [(entry[0], entry[1], entry_label(entry))
+               for entry in events.live_entries()]
     entries.sort()
     return tuple(entries)
 

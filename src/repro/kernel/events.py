@@ -33,7 +33,7 @@ Hot-path design (this queue is the innermost loop of every run):
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 #: Heaps smaller than this are never compacted (rebuild overhead would
 #: exceed the scan cost it saves).
@@ -176,6 +176,26 @@ class EventQueue:
         heappush(self._heap, (time, 0.0, seq, event))
         return event
 
+    def schedule_batch(self, time: float, callback: Callable[[], None],
+                       count: int, key: float = 0.0) -> None:
+        """Schedule ``count`` indistinguishable firings of ``callback``
+        at ``time`` — the bulk-arrival API for homogeneous waves.
+
+        Declaring the firings indistinguishable is what lets an engine
+        choose its representation: this reference queue expands them
+        into ``count`` ordinary entries with consecutive sequence
+        numbers; the turbo calendar collapses them into one entry
+        occupying the same sequence range, which is order-identical
+        because no other event's ``seq`` can fall inside a range
+        allocated atomically.  Fire-and-forget on purpose (no handle
+        is returned): a cancellable bulk wave would pin ``count``
+        handles and defeat the collapsed representation.
+        """
+        if count < 1:
+            raise ValueError("schedule_batch needs count >= 1")
+        for __ in range(count):
+            self.schedule(time, callback, key)
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
         event.cancel()
@@ -281,6 +301,51 @@ class EventQueue:
                 return heap[0]
             return drain[-1]
         return heap[0] if heap else None
+
+    # ------------------------------------------------------------------
+    # dispatch API — the only sanctioned way for engines to reach the
+    # queue's stores (lint rule RPL015 bans direct ``_heap``/``_sorted``
+    # access outside this module and ``kernel/turbo/``)
+    # ------------------------------------------------------------------
+    def prepare_dispatch(self) -> tuple:
+        """Hand the dispatch loop direct aliases of both stores.
+
+        Sorts a deep pre-built backlog into the drain list first (one
+        sort plus O(1) tail pops beats per-pop sifting), then returns
+        ``(heap, drain)``.  Both list identities are stable across
+        compaction and backlog sorting, so a run loop may hold them for
+        its whole lifetime.
+        """
+        if len(self._heap) >= _SORT_MIN:
+            self._sort_backlog()
+        return self._heap, self._sorted
+
+    def note_dead(self, count: int = 1) -> None:
+        """A dispatch loop removed ``count`` dead (cancelled) entries."""
+        self._dead -= count
+
+    def live_entries(self) -> Iterator[tuple]:
+        """Every live queued entry, in store order (not sorted)."""
+        for entry in self._heap:
+            if not entry[3].cancelled:
+                yield entry
+        for entry in self._sorted:
+            if not entry[3].cancelled:
+                yield entry
+
+    def queue_stats(self) -> tuple:
+        """``(live, dispatched_total, cancelled_total)`` for telemetry.
+
+        Entries leave the stores by dispatch, by dead-skip on pop, or
+        by compaction; the latter two total ``cancelled - dead``, which
+        is how the lifetime dispatch count is derived from the sequence
+        counter.
+        """
+        raw = len(self._heap) + len(self._sorted)
+        dead = self._dead
+        cancelled = self._cancelled_total
+        dispatched = self._seq - raw - (cancelled - dead)
+        return raw - dead, dispatched, cancelled
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None if empty."""

@@ -17,7 +17,7 @@ from typing import Any, Callable, Generator, List, Optional
 from .clock import Clock
 from .errors import (InvalidProcessState, KernelError, ProcessInterrupt,
                      SimulationOver)
-from .events import _SORT_MIN, Event, EventQueue
+from .events import Event, EventQueue
 from .process import Process, ProcessState
 from .rng import RngStreams
 from .syscalls import BLOCKED, Immediate, SysCall
@@ -29,7 +29,7 @@ class Kernel:
     def __init__(self, seed: int = 0, trace: Optional[Callable] = None,
                  tracer=None):
         self.clock = Clock()
-        self.events = EventQueue()
+        self.events = self._new_event_queue()
         self.rng = RngStreams(seed)
         self.processes: List[Process] = []
         #: Legacy callable(time, kind, process, detail) hook, kept for
@@ -71,6 +71,13 @@ class Kernel:
     def trace_errors(self) -> int:
         """Exceptions swallowed from the legacy trace callback."""
         return 0 if self.tracer is None else self.tracer.callback_errors
+
+    def _new_event_queue(self):
+        """Factory hook: engines substitute their own event structure
+        (the turbo engine installs a calendar queue) while every other
+        kernel service — processes, clock, RNG streams, probes — stays
+        shared between engines."""
+        return EventQueue()
 
     # ------------------------------------------------------------------
     # time
@@ -197,12 +204,9 @@ class Kernel:
             raise SimulationOver("Kernel.run is not re-entrant")
         self._dispatching = True
         events = self.events
-        if len(events._heap) >= _SORT_MIN:
-            events._sort_backlog()
         # Both aliases are stable: compaction and backlog sorting
         # mutate the lists in place, never rebind them.
-        heap = events._heap
-        drain = events._sorted
+        heap, drain = events.prepare_dispatch()
         clock = self.clock
         resume = self._resume
         # Metrics probe: one float comparison per event when on (the
@@ -220,7 +224,7 @@ class Kernel:
                         entry = drain.pop()
                     event = entry[3]
                     if event.cancelled:
-                        events._dead -= 1
+                        events.note_dead()
                         continue
                     clock._now = entry[0]
                     if entry[0] >= probe_next:
@@ -236,7 +240,7 @@ class Kernel:
                     entry = heappop(heap)
                     event = entry[3]
                     if event.cancelled:
-                        events._dead -= 1
+                        events.note_dead()
                         continue
                     clock._now = entry[0]
                     if entry[0] >= probe_next:
@@ -260,7 +264,7 @@ class Kernel:
                             heappop(heap)
                         else:
                             drain.pop()
-                        events._dead -= 1
+                        events.note_dead()
                         continue
                     if entry[0] > until:
                         # The overall-next event is past the horizon,
@@ -284,7 +288,7 @@ class Kernel:
                     event = entry[3]
                     if event.cancelled:
                         heappop(heap)
-                        events._dead -= 1
+                        events.note_dead()
                         continue
                     if entry[0] > until:
                         break

@@ -1,0 +1,164 @@
+"""TurboKernel: the batch-stepped dispatch loop over the calendar queue.
+
+Same kernel, different event core.  :class:`TurboKernel` subclasses the
+reference :class:`~repro.kernel.kernel.Kernel` and overrides exactly
+two things: the event-queue factory (installing a
+:class:`~repro.kernel.turbo.calendar.CalendarEventQueue`) and the
+``run`` loop.  Every other service — process control, syscalls, clock,
+RNG streams, tracing hooks, the controlled-scheduler delegation — is
+inherited, which is what makes the bitwise contract provable: both
+engines execute the identical model code in the identical event order
+(see the ordering proof in :mod:`.calendar`), so they cannot diverge.
+
+What the turbo loop adds over the reference loop:
+
+- **Calendar dispatch** — pops come off the current bucket's drain
+  tail (O(1)) with a one-comparison spill merge, instead of sifting a
+  global heap.
+- **Resume recycling** — a dispatched (or reaped-dead) resume event
+  goes back to the queue's freelist; steady-state process wake-ups
+  allocate no event objects (see :meth:`CalendarEventQueue.recycle`
+  for the aliasing argument).
+- **Batch stepping** — when a freshly opened bucket is *homogeneous*
+  (every entry live, same ``(time, key)``, same callback object) and
+  the callback opts in by exposing ``batch_call(n)``, the whole bucket
+  is dispatched as ONE call, skipping the per-event sort/pop/dispatch
+  machinery entirely.  Eligibility rules (all must hold):
+
+  1. the queue has no dead entries pending (``_dead == 0``) — a
+     cancelled entry hiding in the bucket would be mis-dispatched;
+  2. no telemetry probe is attached (probes sample per window
+     boundary, which a single batched call would skip);
+  3. every entry in the bucket is at the same ``(time, key)`` with
+     the *same* callback object (identity, not equality), and that
+     object defines ``batch_call``;
+  4. the shared timestamp does not exceed ``until``.
+
+  Heterogeneous populations fall back to the per-event path with no
+  observable difference: a homogeneous batch's per-event order is the
+  unique ``seq`` order, and ``batch_call(n)`` is only sound for
+  callbacks whose effect is order-insensitive across their own
+  consecutive invocations — which identical-callback ticks are by
+  construction.  Model code (transactions, managers) never exposes
+  ``batch_call``, so scenario runs always take the per-event path and
+  stay bitwise-identical to the reference engine.
+
+Traced, metered, sanitized and controlled runs never reach this loop:
+:func:`~repro.kernel.turbo.resolve_engine` forces the reference engine
+for those (the controller delegation below is a second line of
+defense, not the primary gate).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+from typing import Optional
+
+from ..errors import SimulationOver
+from ..kernel import Kernel
+from .calendar import CalendarEventQueue
+
+
+class TurboKernel(Kernel):
+    """Drop-in kernel with the calendar queue and batch-stepped loop."""
+
+    def _new_event_queue(self) -> CalendarEventQueue:
+        return CalendarEventQueue()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch until the queue drains or ``until``; returns the
+        final virtual time.  Same contract (and same re-entrancy
+        refusal) as the reference loop."""
+        controller = self.controller
+        if controller is not None:
+            return controller.run(self, until)
+        if self._dispatching:
+            raise SimulationOver("Kernel.run is not re-entrant")
+        self._dispatching = True
+        events = self.events
+        clock = self.clock
+        resume = self._resume
+        recycle = events.recycle
+        probe = self.telemetry
+        probe_next = probe.next_window if probe is not None else float(
+            "inf")
+        # Stable aliases: the calendar mutates both lists in place
+        # (rebucketing included), never rebinds them.
+        drain = events._drain
+        spill = events._spill
+        try:
+            while True:
+                # Reap dead prefixes (recycling reaped resumes: their
+                # pending_resume handle was cleared before cancel).
+                while drain and drain[-1][3].cancelled:
+                    event = drain.pop()[3]
+                    events.note_dead()
+                    if event.callback is None:
+                        recycle(event)
+                while spill and spill[0][3].cancelled:
+                    event = heappop(spill)[3]
+                    events.note_dead()
+                    if event.callback is None:
+                        recycle(event)
+                if drain:
+                    if spill and spill[0] < drain[-1]:
+                        entry = spill[0]
+                        from_spill = True
+                    else:
+                        entry = drain[-1]
+                        from_spill = False
+                elif spill:
+                    entry = spill[0]
+                    from_spill = True
+                else:
+                    # Current bucket exhausted: open the next one.
+                    bucket = events._pop_raw_bucket()
+                    if bucket is None:
+                        break
+                    first = bucket[0]
+                    callback = first[3].callback
+                    batch = (getattr(callback, "batch_call", None)
+                             if callback is not None else None)
+                    if (batch is not None and events._dead == 0
+                            and probe is None
+                            and (until is None or first[0] <= until)):
+                        time, key = first[0], first[1]
+                        for other in bucket:
+                            if (other[0] != time or other[1] != key
+                                    or other[3].callback
+                                    is not callback):
+                                batch = None
+                                break
+                        if batch is not None:
+                            # Whole bucket in one call, unsorted: the
+                            # n dispatches are indistinguishable.
+                            events._count -= len(bucket)
+                            clock._now = time
+                            batch(len(bucket))
+                            continue
+                    bucket.sort(reverse=True)
+                    drain.extend(bucket)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                if from_spill:
+                    heappop(spill)
+                else:
+                    drain.pop()
+                events._count -= 1
+                clock._now = time
+                if time >= probe_next:
+                    probe_next = probe.sample(time)
+                event = entry[3]
+                callback = event.callback
+                if callback is not None:
+                    callback()
+                else:
+                    resume(event.process, event.value, event.exc)
+                    recycle(event)
+        finally:
+            self._dispatching = False
+        if until is not None and clock._now < until:
+            clock.advance_to(until)
+        return clock._now

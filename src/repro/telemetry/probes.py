@@ -51,14 +51,7 @@ class KernelProbe:
     def sample(self, t: float) -> float:
         """Record queue statistics at ``t``; returns the next window
         boundary for the kernel to compare against."""
-        events = self._events
-        raw = len(events._heap) + len(events._sorted)
-        dead = events._dead
-        live = raw - dead
-        cancelled = events._cancelled_total
-        # Entries leave the stores by dispatch, by dead-skip on pop, or
-        # by compaction; the latter two total (cancelled - dead).
-        dispatched = events._seq - raw - (cancelled - dead)
+        live, dispatched, cancelled = self._events.queue_stats()
         self._depth.set(t, live)
         delta = dispatched - self._seen_dispatched
         if delta > 0:

@@ -41,7 +41,8 @@ def _single_site(protocol: str) -> dict:
                                 read_only_fraction=0.25)))
 
 
-def _distributed(mode: str, faulted: bool = False) -> dict:
+def _distributed(mode: str, faulted: bool = False,
+                 protocol: str = "C") -> dict:
     import dataclasses
 
     from repro.core.config import (DistributedConfig, TimingConfig,
@@ -49,7 +50,7 @@ def _distributed(mode: str, faulted: bool = False) -> dict:
     from repro.core.experiment import run_distributed
     from repro.txn.manager import CostModel
     config = DistributedConfig(
-        mode=mode, comm_delay=1.0, db_size=90, seed=7,
+        mode=mode, protocol=protocol, comm_delay=1.0, db_size=90, seed=7,
         workload=WorkloadConfig(n_transactions=60, mean_interarrival=3.0,
                                 transaction_size=4, size_jitter=1,
                                 read_only_fraction=0.5),
@@ -75,9 +76,12 @@ SCENARIOS = {
     "single_site_2plp": lambda: _single_site("P"),
     "single_site_pi": lambda: _single_site("PI"),
     "single_site_pcpx": lambda: _single_site("Cx"),
+    "single_site_mpcp": lambda: _single_site("mpcp"),
+    "single_site_fmlp": lambda: _single_site("fmlp"),
     "dist_local": lambda: _distributed("local"),
     "dist_global": lambda: _distributed("global"),
     "dist_faulted": lambda: _distributed("local", faulted=True),
+    "dist_dpcp": lambda: _distributed("global", protocol="dpcp"),
 }
 
 

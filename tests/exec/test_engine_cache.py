@@ -1,0 +1,61 @@
+"""Cache keys are engine-independent.
+
+Both engines are bitwise-identical by contract (the cross-engine
+golden suite enforces it), so a result computed under one engine is a
+valid answer for the other.  The ``engine`` config field is therefore
+excluded from the fingerprint (``metadata={"fingerprint": False}``):
+the same workload fingerprints to the same key regardless of engine,
+and a cache warmed by a reference run serves turbo runs for free.
+"""
+
+import dataclasses
+
+from repro.exec import ResultCache, config_fingerprint, run_units
+from repro.exec.units import RunUnit
+
+from .conftest import tiny_config
+
+
+def test_engine_field_does_not_change_the_fingerprint():
+    base = tiny_config()
+    turbo = dataclasses.replace(base, engine="turbo")
+    assert base.engine == "reference"
+    assert config_fingerprint(base) == config_fingerprint(turbo)
+
+
+def test_fingerprint_payload_omits_the_engine_field():
+    # The exclusion must happen at the payload layer, not by accident
+    # of equal defaults — otherwise pre-engine cache entries would all
+    # be orphaned (the payloads must stay byte-identical to before the
+    # field existed, so CODE_VERSION did not need a bump).
+    from repro.exec.fingerprint import config_payload
+    reference = config_payload(tiny_config())
+    turbo = config_payload(
+        dataclasses.replace(tiny_config(), engine="turbo"))
+    assert "engine" not in str(turbo)
+    assert turbo == reference
+
+
+def test_reference_run_warms_the_cache_for_turbo(tmp_path):
+    reference = tiny_config()
+    turbo = dataclasses.replace(reference, engine="turbo")
+
+    cold = run_units([RunUnit(index=0, group="g", config=reference)],
+                     jobs=1, cache=ResultCache(tmp_path))
+    warm_cache = ResultCache(tmp_path)
+    warm = run_units([RunUnit(index=0, group="g", config=turbo)],
+                     jobs=1, cache=warm_cache)
+
+    assert cold.stats.cache_hits == 0
+    assert warm.stats.cache_hits == 1
+    assert warm.rows == cold.rows
+
+
+def test_cross_engine_hit_returns_the_identical_row(tmp_path):
+    cache = ResultCache(tmp_path)
+    reference = tiny_config(seed=21)
+    fp = config_fingerprint(reference)
+    cache.put(fp, {"throughput": 2.5}, config=reference)
+    turbo_fp = config_fingerprint(
+        dataclasses.replace(reference, engine="turbo"))
+    assert cache.get(turbo_fp) == {"throughput": 2.5}

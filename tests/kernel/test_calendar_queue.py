@@ -1,0 +1,225 @@
+"""Calendar event queue: ordering, overflow, rebucket, freelist."""
+
+from repro.kernel.events import EventQueue
+from repro.kernel.turbo.calendar import (_RESIZE_MIN, CalendarEventQueue,
+                                         _BatchCall)
+
+import pytest
+
+
+def drain_order(queue):
+    order = []
+    while queue:
+        event = queue.pop()
+        order.append((event.time, event.key, event.seq))
+    return order
+
+
+def test_pop_order_across_buckets():
+    queue = CalendarEventQueue(width=1.0)
+    times = [5.5, 0.25, 17.0, 3.0, 3.0, 0.75, 42.9, 5.5]
+    for time in times:
+        queue.schedule(time, lambda: None)
+    order = drain_order(queue)
+    assert [time for time, _, _ in order] == sorted(times)
+    assert order == sorted(order)
+
+
+def test_key_breaks_ties_before_seq():
+    queue = CalendarEventQueue()
+    queue.schedule(2.0, lambda: None, key=5.0)
+    queue.schedule(2.0, lambda: None, key=1.0)
+    queue.schedule(2.0, lambda: None, key=1.0)
+    order = drain_order(queue)
+    assert [key for _, key, _ in order] == [1.0, 1.0, 5.0]
+    assert order == sorted(order)
+
+
+def test_infinite_times_drain_last():
+    queue = CalendarEventQueue()
+    inf = float("inf")
+    queue.schedule(inf, lambda: None)
+    queue.schedule(3.0, lambda: None)
+    queue.schedule(inf, lambda: None)
+    queue.schedule(1.0, lambda: None)
+    order = drain_order(queue)
+    assert [time for time, _, _ in order] == [1.0, 3.0, inf, inf]
+    assert order == sorted(order)
+
+
+def test_insert_during_drain_merges_through_spill():
+    # Open a bucket by popping its first entry, then schedule more
+    # entries for the very same bucket ("wake-ups at now"): they must
+    # merge into the pop order, not wait for the next bucket.
+    queue = CalendarEventQueue(width=10.0)
+    for time in (1.0, 5.0, 9.0, 15.0):
+        queue.schedule(time, lambda: None)
+    assert queue.pop().time == 1.0
+    queue.schedule(2.0, lambda: None)
+    queue.schedule(7.0, lambda: None)
+    assert [time for time, _, _ in drain_order(queue)] == [
+        2.0, 5.0, 7.0, 9.0, 15.0]
+
+
+def test_insert_during_far_drain_merges_through_spill():
+    inf = float("inf")
+    queue = CalendarEventQueue()
+    queue.schedule(inf, lambda: None)
+    queue.schedule(inf, lambda: None)
+    assert queue.pop().time == inf
+    queue.schedule(inf, lambda: None)  # arrives while far drains
+    assert len(drain_order(queue)) == 2
+
+
+def test_rebucket_preserves_order_and_list_identities():
+    queue = CalendarEventQueue(width=1.0)
+    drain_alias, spill_alias = queue._drain, queue._spill
+    entries = _RESIZE_MIN + 50
+    times = [((index * 37) % entries) * 0.5 for index in range(entries)]
+    for time in times:
+        queue.schedule(time, lambda: None)
+    assert queue._width != 1.0  # adapted to the population
+    assert queue._drain is drain_alias
+    assert queue._spill is spill_alias
+    order = drain_order(queue)
+    assert [time for time, _, _ in order] == sorted(times)
+    assert order == sorted(order)
+
+
+def test_resume_events_are_recycled_through_the_freelist():
+    queue = CalendarEventQueue()
+    first = queue.schedule_resume(1.0, process="p1", value="v")
+    assert queue.pop() is first
+    queue.recycle(first)
+    assert first.process is None and first.value is None
+    second = queue.schedule_resume(2.0, process="p2")
+    assert second is first  # the same object, reincarnated
+    assert second.process == "p2" and second.seq == 1
+
+
+def test_bare_callback_events_are_never_auto_recycled():
+    queue = CalendarEventQueue()
+    first = queue.schedule(1.0, lambda: None)
+    queue.pop()
+    second = queue.schedule(2.0, lambda: None)
+    assert second is not first
+
+
+def test_schedule_batch_collapses_to_one_entry():
+    queue = CalendarEventQueue()
+    calls = []
+    queue.schedule_batch(4.0, lambda: calls.append("x"), 5)
+    assert len(queue) == 1
+    assert queue._seq == 5  # the whole seq range was consumed
+    event = queue.pop()
+    assert isinstance(event.callback, _BatchCall)
+    event.callback()
+    assert calls == ["x"] * 5
+
+
+def test_schedule_batch_prefers_batch_call():
+    class Tick:
+        count = 0
+
+        def __call__(self):
+            raise AssertionError("per-call path must not run")
+
+        def batch_call(self, n):
+            self.count += n
+
+    queue = CalendarEventQueue()
+    tick = Tick()
+    queue.schedule_batch(1.0, tick, 7)
+    queue.pop().callback()
+    assert tick.count == 7
+
+
+def test_schedule_batch_rejects_empty_waves():
+    with pytest.raises(ValueError):
+        CalendarEventQueue().schedule_batch(1.0, lambda: None, 0)
+    with pytest.raises(ValueError):
+        EventQueue().schedule_batch(1.0, lambda: None, 0)
+
+
+def test_schedule_batch_order_matches_reference_expansion():
+    # Interleave a batch with ordinary events at the same and nearby
+    # timestamps on both queues; the induced call sequence must match.
+    def run(queue):
+        log = []
+        queue.schedule(2.0, lambda: log.append("before"))
+        queue.schedule_batch(2.0, lambda: log.append("wave"), 3)
+        queue.schedule(2.0, lambda: log.append("after"))
+        queue.schedule(1.0, lambda: log.append("first"))
+        while queue:
+            queue.pop().callback()
+        return log
+
+    assert run(CalendarEventQueue()) == run(EventQueue())
+    assert run(CalendarEventQueue()) == [
+        "first", "before", "wave", "wave", "wave", "after"]
+
+
+def test_cancel_and_compact_keep_the_survivors():
+    queue = CalendarEventQueue()
+    keep, drop = [], []
+    for index in range(200):
+        handle = queue.schedule(float(index % 13), lambda: None)
+        (keep if index % 3 else drop).append(handle)
+    for handle in drop:
+        queue.cancel(handle)
+    assert len(queue) == len(keep)
+    order = drain_order(queue)
+    assert len(order) == len(keep)
+    assert order == sorted(order)
+
+
+def test_queue_stats_matches_reference_accounting():
+    def run(queue):
+        handles = [queue.schedule(float(index), lambda: None)
+                   for index in range(10)]
+        queue.cancel(handles[3])
+        queue.cancel(handles[7])
+        for _ in range(4):
+            queue.pop()
+        return queue.queue_stats()
+
+    assert (CalendarEventQueue().queue_stats()
+            == EventQueue().queue_stats())
+    assert run(CalendarEventQueue()) == run(EventQueue())
+
+
+def test_pop_tied_entries_roundtrips_through_push_entry():
+    def run(queue):
+        for key in (1.0, 0.0, 2.0):
+            queue.schedule(5.0, lambda: None, key=0.5)
+        queue.schedule(6.0, lambda: None)
+        batch = queue.pop_tied_entries()
+        assert [entry[2] for entry in batch] == [0, 1, 2]
+        for entry in batch:
+            queue.push_entry(entry)
+        return drain_order(queue)
+
+    assert run(CalendarEventQueue()) == run(EventQueue())
+
+
+def test_note_dead_keeps_len_exact():
+    queue = CalendarEventQueue()
+    handle = queue.schedule(1.0, lambda: None)
+    queue.schedule(2.0, lambda: None)
+    queue.cancel(handle)
+    assert len(queue) == 1
+    # A dispatch loop that strips the dead entry itself reports it.
+    queue._drain  # (loop would alias stores; simulate via pop path)
+    entry = queue._pop_live_entry()
+    assert entry[0] == 2.0
+    assert len(queue) == 0
+
+
+def test_live_entries_skips_cancelled():
+    queue = CalendarEventQueue()
+    queue.schedule(1.0, lambda: None)
+    dead = queue.schedule(2.0, lambda: None)
+    queue.schedule(float("inf"), lambda: None)
+    queue.cancel(dead)
+    assert sorted(entry[0] for entry in queue.live_entries()) == [
+        1.0, float("inf")]

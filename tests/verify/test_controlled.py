@@ -84,7 +84,7 @@ def test_controller_records_choice_trail():
 def test_entry_labels_are_address_free():
     _reset_counters()
     system = SingleSiteSystem(_config("C"))
-    for entry in system.kernel.events._heap:
+    for entry in system.kernel.events.live_entries():
         label = entry_label(entry)
         assert "0x" not in label or "0xADDR" in label
 
